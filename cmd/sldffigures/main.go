@@ -1,0 +1,104 @@
+// Command sldffigures regenerates the data behind every evaluation figure
+// of the paper (Figs. 10–15). Each figure's series are written as CSV files
+// into -out and summarized on stdout (saturation points, peak throughputs,
+// energy bars).
+//
+//	sldffigures -quick            # CI-scale everything (minutes)
+//	sldffigures -fig 11           # only Fig. 11 at paper scale
+//	sldffigures -full -fig 12     # the 18560-chip scalability run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"sldf/internal/core"
+	"sldf/internal/metrics"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "CI-scale runs (small windows, thinner grids, radix-24 stand-in for Fig. 12)")
+		full  = flag.Bool("full", false, "force paper-scale runs (Table IV windows)")
+		fig   = flag.String("fig", "all", "which figure: 10 | 11 | 12 | 13 | 14 | 15 | all")
+		out   = flag.String("out", "figures", "output directory for CSV files")
+	)
+	flag.Parse()
+
+	scale := core.ScaleQuick
+	if *full || (!*quick && *fig != "all") {
+		scale = core.ScalePaper
+	}
+	if *quick {
+		scale = core.ScaleQuick
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatalf("%v", err)
+	}
+
+	runners := map[string]func(core.Scale) ([]metrics.Figure, error){
+		"10": core.Fig10,
+		"11": core.Fig11,
+		"12": core.Fig12,
+		"13": core.Fig13,
+		"14": core.Fig14,
+	}
+	order := []string{"10", "11", "12", "13", "14"}
+
+	want := func(id string) bool { return *fig == "all" || *fig == id }
+
+	for _, id := range order {
+		if !want(id) {
+			continue
+		}
+		start := time.Now()
+		figs, err := runners[id](scale)
+		if err != nil {
+			fatalf("fig %s: %v", id, err)
+		}
+		for _, f := range figs {
+			path := filepath.Join(*out, f.Name+".csv")
+			if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
+				fatalf("write %s: %v", path, err)
+			}
+			fmt.Printf("== %s — %s (%s)\n", f.Name, f.Title, path)
+			for _, s := range f.Series {
+				fmt.Printf("   %-16s saturation ≈ %.2f  peak throughput %.2f flits/cycle/chip\n",
+					s.Label, s.Saturation(3), s.MaxThroughput())
+			}
+		}
+		fmt.Printf("-- fig %s done in %s\n\n", id, time.Since(start).Round(time.Second))
+	}
+
+	if want("15") {
+		start := time.Now()
+		efigs, err := core.Fig15(scale)
+		if err != nil {
+			fatalf("fig 15: %v", err)
+		}
+		for _, f := range efigs {
+			var b strings.Builder
+			b.WriteString("system,intra_pj_per_bit,inter_pj_per_bit,total_pj_per_bit\n")
+			fmt.Printf("== %s — %s\n", f.Name, f.Title)
+			for _, bar := range f.Bars {
+				fmt.Fprintf(&b, "%s,%.3f,%.3f,%.3f\n", bar.Label, bar.Intra, bar.Inter, bar.Total())
+				fmt.Printf("   %-16s %6.1f pJ/bit (intra %5.1f + inter %5.1f)\n",
+					bar.Label, bar.Total(), bar.Intra, bar.Inter)
+			}
+			path := filepath.Join(*out, f.Name+".csv")
+			if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+				fatalf("write %s: %v", path, err)
+			}
+		}
+		fmt.Printf("-- fig 15 done in %s\n", time.Since(start).Round(time.Second))
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sldffigures: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,142 @@
+// Command sldfsweep runs a latency-vs-injection-rate sweep over one or more
+// systems and emits CSV (one latency and throughput column per system).
+//
+// Example — reproduce a Fig. 11(a)-style comparison:
+//
+//	sldfsweep -systems sw-based,sw-less,sw-less-2B -pattern uniform \
+//	          -from 0.1 -to 1.0 -step 0.1 > fig11a.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sldf/internal/core"
+	"sldf/internal/metrics"
+	"sldf/internal/routing"
+)
+
+func main() {
+	var (
+		systems = flag.String("systems", "sw-based,sw-less", "comma-separated systems: sw-based | sw-less | sw-less-2B | sw-less-4B | switch | mesh, each with optional -mis suffix for Valiant routing")
+		size    = flag.String("size", "radix16", "scale: radix16 | radix24 | radix32")
+		pattern = flag.String("pattern", "uniform", "traffic pattern")
+		from    = flag.Float64("from", 0.1, "first injection rate")
+		to      = flag.Float64("to", 1.0, "last injection rate")
+		step    = flag.Float64("step", 0.1, "rate step")
+		groups  = flag.Int("groups", 0, "override W-group count")
+		warmup  = flag.Int64("warmup", 5000, "warmup cycles")
+		measure = flag.Int64("measure", 10000, "measured cycles")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		workers = flag.Int("workers", 0, "parallel workers")
+	)
+	flag.Parse()
+
+	var rates []float64
+	for r := *from; r <= *to+1e-9; r += *step {
+		rates = append(rates, r)
+	}
+	sp := core.SimParams{Warmup: *warmup, Measure: *measure,
+		ExtraDrain: *measure / 2, PacketSize: 4}
+
+	fig := metrics.Figure{Name: "sweep", Title: *pattern}
+	for _, name := range strings.Split(*systems, ",") {
+		cfg, err := parseSystem(strings.TrimSpace(name), *size, *groups)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg.Seed = *seed
+		cfg.Workers = *workers
+		fmt.Fprintf(os.Stderr, "sweeping %s over %d rates...\n", name, len(rates))
+		s, err := core.Sweep(cfg, *pattern, rates, sp)
+		if err != nil {
+			fatalf("sweep %s: %v", name, err)
+		}
+		s.Label = name
+		fig.Series = append(fig.Series, s)
+	}
+	fmt.Print(fig.CSV())
+	for _, s := range fig.Series {
+		fmt.Fprintf(os.Stderr, "saturation(%s) ≈ %.2f flits/cycle/chip\n",
+			s.Label, s.Saturation(3))
+	}
+}
+
+// parseSystem maps a CLI name like "sw-less-2B-mis" to a Config.
+func parseSystem(name, size string, groups int) (core.Config, error) {
+	cfg := core.Config{}
+	base := name
+	switch {
+	case strings.HasSuffix(base, "-mis-lower"):
+		cfg.Mode = routing.ValiantLower
+		base = strings.TrimSuffix(base, "-mis-lower")
+	case strings.HasSuffix(base, "-mis"):
+		cfg.Mode = routing.Valiant
+		base = strings.TrimSuffix(base, "-mis")
+	case strings.HasSuffix(base, "-ugal"):
+		cfg.Mode = routing.Adaptive
+		base = strings.TrimSuffix(base, "-ugal")
+	}
+	switch {
+	case base == "switch":
+		cfg.Kind = core.SingleSwitch
+		cfg.Terminals = 4
+		return cfg, nil
+	case base == "mesh":
+		cfg.Kind = core.MeshCGroup
+		cfg.ChipletDim, cfg.NoCDim = 2, 2
+		return cfg, nil
+	case base == "sw-based":
+		cfg.Kind = core.SwitchDragonfly
+		switch size {
+		case "radix16":
+			cfg.DF = core.Radix16DF()
+		case "radix24":
+			cfg.DF = core.Radix24DF()
+		case "radix32":
+			cfg.DF = core.Radix32DF()
+		default:
+			return cfg, fmt.Errorf("unknown size %q", size)
+		}
+		if groups > 0 {
+			cfg.DF.G = groups
+		}
+		return cfg, nil
+	case strings.HasPrefix(base, "sw-less"):
+		cfg.Kind = core.SwitchlessDragonfly
+		switch size {
+		case "radix16":
+			cfg.SLDF = core.Radix16SLDF()
+		case "radix24":
+			cfg.SLDF = core.Radix24SLDF()
+		case "radix32":
+			cfg.SLDF = core.Radix32SLDF()
+		default:
+			return cfg, fmt.Errorf("unknown size %q", size)
+		}
+		switch strings.TrimPrefix(base, "sw-less") {
+		case "":
+			cfg.IntraWidth = 1
+		case "-2B":
+			cfg.IntraWidth = 2
+		case "-4B":
+			cfg.IntraWidth = 4
+		case "-rvc":
+			cfg.Scheme = routing.ReducedVC
+		default:
+			return cfg, fmt.Errorf("unknown system %q", base)
+		}
+		if groups > 0 {
+			cfg.SLDF.G = groups
+		}
+		return cfg, nil
+	}
+	return cfg, fmt.Errorf("unknown system %q", name)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sldfsweep: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Command sldftables regenerates the paper's tables and the Fig. 9 layout
+// study: Table I (chip survey), Table II (hop costs), Table III (network
+// comparison), Table IV (simulation defaults), and the C-group floorplan
+// feasibility report.
+//
+//	sldftables            # everything
+//	sldftables -table 3   # only Table III
+//	sldftables -fig 9     # only the layout report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sldf/internal/analysis"
+	"sldf/internal/core"
+	"sldf/internal/cost"
+	"sldf/internal/layout"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table: 1 | 2 | 3 | 4 | all")
+	figN := flag.Int("fig", 0, "also print a figure study (9 = layout)")
+	flag.Parse()
+
+	want := func(id string) bool { return *table == "all" || *table == id }
+
+	if want("1") {
+		fmt.Println("TABLE I — external communication and switching capability")
+		fmt.Printf("%-10s %-10s %8s %10s %12s\n", "chip", "category", "lanes", "Gbps/lane", "Tb/s total")
+		for _, c := range cost.TableI() {
+			fmt.Printf("%-10s %-10s %8d %10.0f %12.1f\n",
+				c.Name, c.Category, c.Lanes, c.DataRateGb, c.ThroughputTb())
+		}
+		fmt.Println()
+	}
+
+	if want("2") {
+		fmt.Println("TABLE II — hop cost comparison")
+		fmt.Printf("%-10s %14s %14s\n", "hop", "latency (ns)", "energy (pJ/bit)")
+		for _, name := range []string{"global", "local", "sr", "on-chip"} {
+			c := analysis.TableII()[name]
+			fmt.Printf("%-10s %14.1f %14.1f\n", name, c.LatencyNS, c.EnergyPJ)
+		}
+		fmt.Println()
+	}
+
+	if want("3") {
+		fmt.Println("TABLE III — comparison of key specifications (radix-64 class)")
+		fmt.Printf("%-28s %6s %6s %8s %8s %10s %9s %7s %7s  %s\n",
+			"network", "chipR", "swR", "switches", "cabinets", "processors",
+			"cables", "Tlocal", "Tglob", "diameter")
+		for _, r := range cost.TableIII() {
+			fmt.Printf("%-28s %6d %6d %8d %8d %10d %8dK %7.2f %7.2f  %s\n",
+				r.Name, r.ChipRadix, r.SWRadix, r.Switches, r.Cabinets,
+				r.Processors, r.Cables/1000, r.TLocal, r.TGlobal, r.Diameter)
+		}
+		sl, sw := cost.Slingshot(), cost.SwitchlessDragonfly()
+		fmt.Printf("\nswitch-less vs Slingshot at %d processors: %d→%d cabinets, "+
+			"%d→0 switches, inter-cabinet cable ratio %.2f (paper: 73K/154K = 0.47)\n\n",
+			sw.Processors, sl.Cabinets, sw.Cabinets, sl.Switches,
+			sw.CableLengthE()/sl.CableLengthE())
+	}
+
+	if want("4") {
+		sp := core.DefaultSim()
+		fmt.Println("TABLE IV — default simulation parameters")
+		fmt.Printf("%-24s %v flits\n", "packet length", sp.PacketSize)
+		fmt.Printf("%-24s 32 flits\n", "input buffer size")
+		fmt.Printf("%-24s 1 flit/cycle\n", "base link bandwidth")
+		fmt.Printf("%-24s 1 cycle\n", "short-reach link delay")
+		fmt.Printf("%-24s 8 cycles\n", "long-reach link delay")
+		fmt.Printf("%-24s %d cycles after %d warmup\n", "simulation time", sp.Measure, sp.Warmup)
+		fmt.Println()
+	}
+
+	if *figN == 9 || (*table == "all" && *figN == 0) {
+		r, err := layout.PaperPlan().Analyze()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sldftables: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("FIG. 9 — C-group layout feasibility (60mm × 60mm, 16 chiplets)")
+		fmt.Printf("%-32s %d\n", "external ports (k)", r.ExternalPorts)
+		fmt.Printf("%-32s %.0f Gb/s\n", "on-wafer bandwidth/port", r.OnWaferPortGbps)
+		fmt.Printf("%-32s %.0f Gb/s\n", "off-wafer bandwidth/port", r.OffWaferPortGbps)
+		fmt.Printf("%-32s %d (paper: 1536)\n", "differential pairs", r.DiffPairs)
+		fmt.Printf("%-32s %d (paper: ~5500)\n", "total IOs incl. power/ground", r.TotalIOs)
+		fmt.Printf("%-32s %.2f TB/s (paper: 12)\n", "on-wafer bisection", r.BisectionTBs)
+		fmt.Printf("%-32s %.2f TB/s (paper: 20.9)\n", "off-wafer aggregate", r.AggregateTBs)
+		fmt.Printf("%-32s %.0f%%\n", "silicon area utilization", r.AreaUtilization*100)
+		fmt.Printf("%-32s %d\n", "C-groups per wafer", r.CGroupsPerWafer)
+		fmt.Printf("%-32s %d (paper: 192)\n", "wafer IO channels (4 CG, k=48)", r.WaferIOChannels)
+		fmt.Printf("%-32s %v\n", "feasible", r.Feasible())
+	}
+}

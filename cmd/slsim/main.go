@@ -1,0 +1,134 @@
+// Command slsim runs a single simulation load point and prints its metrics.
+//
+// Examples:
+//
+//	slsim -system sw-less -pattern uniform -rate 0.5
+//	slsim -system sw-based -pattern worst-case -mode valiant -rate 0.2
+//	slsim -system sw-less -scheme reduced -width 2 -rate 0.8 -warmup 2000 -measure 4000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sldf/internal/core"
+	"sldf/internal/netsim"
+	"sldf/internal/routing"
+)
+
+func main() {
+	var (
+		system  = flag.String("system", "sw-less", "system: sw-less | sw-based | switch | mesh")
+		size    = flag.String("size", "radix16", "scale: radix16 | radix24 | radix32")
+		pattern = flag.String("pattern", "uniform", "traffic: uniform | bit-reverse | bit-shuffle | bit-transpose | hotspot | worst-case | ring | ring-bidir")
+		rate    = flag.Float64("rate", 0.5, "offered load in flits/cycle/chip")
+		mode    = flag.String("mode", "minimal", "routing mode: minimal | valiant | valiant-lower | adaptive")
+		scheme  = flag.String("scheme", "baseline", "SLDF VC scheme: baseline | reduced")
+		width   = flag.Int("width", 1, "intra-C-group bandwidth multiplier (1, 2, 4)")
+		groups  = flag.Int("groups", 0, "override W-group count (1 = single group)")
+		warmup  = flag.Int64("warmup", 5000, "warmup cycles")
+		measure = flag.Int64("measure", 10000, "measured cycles")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	cfg := core.Config{Seed: *seed, Workers: *workers, IntraWidth: int32(*width)}
+	switch *mode {
+	case "minimal":
+		cfg.Mode = routing.Minimal
+	case "valiant":
+		cfg.Mode = routing.Valiant
+	case "valiant-lower":
+		cfg.Mode = routing.ValiantLower
+	case "adaptive", "ugal":
+		cfg.Mode = routing.Adaptive
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+	switch *scheme {
+	case "baseline":
+		cfg.Scheme = routing.BaselineVC
+	case "reduced":
+		cfg.Scheme = routing.ReducedVC
+	default:
+		fatalf("unknown scheme %q", *scheme)
+	}
+	switch *system {
+	case "sw-less":
+		cfg.Kind = core.SwitchlessDragonfly
+		switch *size {
+		case "radix16":
+			cfg.SLDF = core.Radix16SLDF()
+		case "radix24":
+			cfg.SLDF = core.Radix24SLDF()
+		case "radix32":
+			cfg.SLDF = core.Radix32SLDF()
+		default:
+			fatalf("unknown size %q", *size)
+		}
+		if *groups > 0 {
+			cfg.SLDF.G = *groups
+		}
+	case "sw-based":
+		cfg.Kind = core.SwitchDragonfly
+		switch *size {
+		case "radix16":
+			cfg.DF = core.Radix16DF()
+		case "radix24":
+			cfg.DF = core.Radix24DF()
+		case "radix32":
+			cfg.DF = core.Radix32DF()
+		default:
+			fatalf("unknown size %q", *size)
+		}
+		if *groups > 0 {
+			cfg.DF.G = *groups
+		}
+	case "switch":
+		cfg.Kind = core.SingleSwitch
+		cfg.Terminals = 4
+	case "mesh":
+		cfg.Kind = core.MeshCGroup
+		cfg.ChipletDim, cfg.NoCDim = 2, 2
+	default:
+		fatalf("unknown system %q", *system)
+	}
+
+	sys, err := core.Build(cfg)
+	if err != nil {
+		fatalf("build: %v", err)
+	}
+	defer sys.Close()
+	fmt.Printf("system   : %s (%d chips, %d routers, %d links, %d W-groups)\n",
+		sys.Label, sys.Chips, len(sys.Net.Routers), len(sys.Net.Links), sys.Groups)
+
+	pat, err := sys.PatternFor(*pattern)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	sp := core.SimParams{Warmup: *warmup, Measure: *measure,
+		ExtraDrain: *measure / 2, PacketSize: 4}
+	res, err := sys.MeasureLoad(pat, *rate, sp)
+	if err != nil {
+		fatalf("simulate: %v", err)
+	}
+	st := res.Stats
+	fmt.Printf("pattern  : %s @ %.3f flits/cycle/chip\n", *pattern, *rate)
+	fmt.Printf("latency  : mean %.1f  p50 %.0f  p99 %.0f cycles (network-only mean %.1f)\n",
+		res.Point.Latency, res.Point.P50, res.Point.P99, st.MeanNetLatency())
+	fmt.Printf("accepted : %.4f flits/cycle/chip\n", res.Point.Throughput)
+	fmt.Printf("packets  : injected %d, delivered %d, in-flight %d\n",
+		st.InjectedPkts, st.DeliveredPkts, st.InFlightPkts)
+	fmt.Printf("hops/pkt : on-chip %.2f  short-reach %.2f  local %.2f  global %.2f\n",
+		st.MeanHops(netsim.HopOnChip), st.MeanHops(netsim.HopShortReach),
+		st.MeanHops(netsim.HopLongLocal), st.MeanHops(netsim.HopGlobal))
+	fmt.Printf("energy   : %.1f pJ/bit (intra-C-group %.1f + inter-C-group %.1f)\n",
+		res.Energy.Total(), res.Energy.IntraCGroup, res.Energy.InterCGroup)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "slsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Adversarial: show why non-minimal routing matters (paper Fig. 13). Under
+// the worst-case pattern every chip of W-group i talks only to W-group i+1,
+// so minimal routing funnels a whole group's traffic through one global
+// channel. Valiant routing spreads it over every W-group and recovers an
+// order of magnitude of throughput.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sldf"
+)
+
+func main() {
+	sp := sldf.SimParams{Warmup: 600, Measure: 1200, ExtraDrain: 600, PacketSize: 4}
+	rates := []float64{0.05, 0.1, 0.2, 0.3, 0.4}
+
+	base := sldf.Config{Kind: sldf.SwitchlessDragonfly, SLDF: sldf.Radix16SLDF(), Seed: 7}
+	valiant := base
+	valiant.Mode = sldf.Valiant
+	valiant2B := valiant
+	valiant2B.IntraWidth = 2
+
+	for _, pattern := range []string{"worst-case", "hotspot"} {
+		fmt.Printf("== %s traffic on the radix-16 switch-less Dragonfly (1312 chips)\n", pattern)
+		for _, c := range []struct {
+			cfg   sldf.Config
+			label string
+		}{
+			{base, "minimal"},
+			{valiant, "valiant"},
+			{valiant2B, "valiant-2B"},
+		} {
+			series, err := sldf.Sweep(c.cfg, pattern, rates, sp)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-11s", c.label)
+			for _, p := range series.Points {
+				fmt.Printf("  %.2f→%.3f", p.Rate, p.Throughput)
+			}
+			fmt.Printf("   (offered→accepted flits/cycle/chip)\n")
+		}
+		fmt.Println()
+	}
+	fmt.Println("minimal routing pins the worst case to 1/40 of the global channels;")
+	fmt.Println("valiant misrouting recovers throughput at the cost of one extra")
+	fmt.Println("global + two extra local hops per packet (paper Sec. V-B4).")
+}

@@ -1,0 +1,70 @@
+// AllReduce: compare ring-AllReduce bandwidth on a switch-attached C-group
+// vs the wafer C-group mesh (paper Fig. 14a), then measure the end-to-end
+// makespan of pushing a fixed data volume around the ring — the metric an
+// ML-training user actually cares about.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sldf"
+	"sldf/internal/core"
+	"sldf/internal/netsim"
+	"sldf/internal/traffic"
+)
+
+func main() {
+	sp := sldf.SimParams{Warmup: 800, Measure: 1600, ExtraDrain: 800, PacketSize: 4}
+	rates := []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0}
+
+	fmt.Println("== steady-state ring throughput (Fig. 14a)")
+	systems := []struct {
+		cfg     sldf.Config
+		pattern string
+		label   string
+	}{
+		{sldf.Config{Kind: sldf.SingleSwitch, Terminals: 4, Seed: 1}, "ring", "sw-based-uni"},
+		{sldf.Config{Kind: sldf.MeshCGroup, ChipletDim: 2, NoCDim: 2, Seed: 1}, "ring", "sw-less-uni"},
+		{sldf.Config{Kind: sldf.SingleSwitch, Terminals: 4, Seed: 1}, "ring-bidir", "sw-based-bi"},
+		{sldf.Config{Kind: sldf.MeshCGroup, ChipletDim: 2, NoCDim: 2, Seed: 1}, "ring-bidir", "sw-less-bi"},
+	}
+	for _, s := range systems {
+		series, err := sldf.Sweep(s.cfg, s.pattern, rates, sp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s saturates ≈ %.1f flits/cycle/chip (peak accepted %.2f)\n",
+			s.label, series.Saturation(3), series.MaxThroughput())
+	}
+
+	// Makespan mode: every chip must circulate 4096 flits to its ring
+	// neighbour (one AllReduce step). Lower is better; the mesh C-group's
+	// four injection ports per chip finish first.
+	fmt.Println("\n== fixed-volume ring step makespan (4096 flits/chip)")
+	for _, s := range systems[:2] {
+		sys, err := core.Build(s.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ring := traffic.Ring{N: int32(sys.Chips)}
+		vol := traffic.NewVolume(ring, 4096, 4, sys.Chips, sys.NodesPerChip)
+		sys.Net.SetTraffic(vol, 4, netsim.DstSameIndex)
+		sys.Net.StartMeasurement()
+		cycles := int64(0)
+		for !vol.Done() || sys.Net.InFlight() > 0 {
+			if err := sys.Net.Run(100); err != nil {
+				log.Fatal(err)
+			}
+			cycles += 100
+			if cycles > 1_000_000 {
+				log.Fatal("makespan run did not converge")
+			}
+		}
+		st := sys.Net.Snapshot()
+		fmt.Printf("  %-14s %6d cycles for %d packets (%.2f flits/cycle/chip effective)\n",
+			s.label, cycles, st.DeliveredPkts,
+			float64(st.DeliveredPkts*4)/float64(cycles)/float64(sys.Chips))
+		sys.Close()
+	}
+}

@@ -1,0 +1,47 @@
+// Capacity: explore the architecture's design space analytically — scan the
+// balanced rule of paper Eq. 3 across C-group sizes, reproduce the Table III
+// cost comparison, and check the Fig. 9 wafer floorplan — without running a
+// single simulation cycle.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sldf"
+)
+
+func main() {
+	fmt.Println("== Eq. 1/3 design space: balanced configurations n=3m, ab=2m²")
+	fmt.Printf("%4s %6s %6s %6s %8s %14s %10s\n", "m", "k", "ab", "g", "chips/W", "system chips", "T_global")
+	for m := 2; m <= 8; m++ {
+		a := sldf.Analysis{N: 3 * m, M: m, A: 1, B: 2 * m * m}
+		if err := a.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4d %6d %6d %6d %8d %14d %10.2f\n",
+			m, a.K(), a.AB(), a.Groups(), a.AB()*m*m, a.Terminals(), a.TGlobal())
+	}
+
+	fmt.Println("\n== the paper's case study (Table III scale, n=12 m=4 ab=32 h=17)")
+	cs := sldf.Analysis{N: 12, M: 4, A: 4, B: 8, H: 17}
+	fmt.Printf("k=%d ports, g=%d W-groups, N=%d chiplets\n", cs.K(), cs.Groups(), cs.Terminals())
+	fmt.Printf("bounds: T_cgroup ≤ %.1f, T_local ≤ %.1f, T_global ≤ %.2f flits/cycle/chip\n",
+		cs.TCGroup(), cs.TLocal(), cs.TGlobal())
+
+	fmt.Println("\n== Table III cost comparison (derived)")
+	for _, r := range sldf.TableIII() {
+		fmt.Printf("%-30s %8d switches %6d cabinets %8d processors\n",
+			r.Name, r.Switches, r.Cabinets, r.Processors)
+	}
+
+	fmt.Println("\n== Fig. 9 wafer floorplan")
+	rep, err := sldf.LayoutReport()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("C-group: %d ports, %.1f TB/s bisection, %.1f TB/s off-wafer aggregate\n",
+		rep.ExternalPorts, rep.BisectionTBs, rep.AggregateTBs)
+	fmt.Printf("silicon utilization %.0f%%, %d C-groups/wafer, feasible=%v\n",
+		rep.AreaUtilization*100, rep.CGroupsPerWafer, rep.Feasible())
+}

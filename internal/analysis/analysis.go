@@ -1,0 +1,136 @@
+// Package analysis implements the paper's closed-form architecture model
+// (Sec. III-B): scalability (Eq. 1), throughput bounds (Eqs. 2–6), the
+// balanced-configuration rule (Eq. 3), and the diameter decomposition
+// (Eq. 7) with the hop-cost constants of Table II.
+package analysis
+
+import "fmt"
+
+// Params are the paper's architecture symbols (Sec. III).
+type Params struct {
+	N int // n: interconnection interfaces per chiplet
+	M int // m: chiplets per C-group edge (C-group = m×m chiplets)
+	A int // a: C-groups per wafer
+	B int // b: wafers per W-group
+	H int // h: global ports per C-group (0 → maximum k-ab+1)
+}
+
+// K returns the external port count of a C-group: k = n·m.
+func (p Params) K() int { return p.N * p.M }
+
+// AB returns the number of C-groups per W-group.
+func (p Params) AB() int { return p.A * p.B }
+
+// GlobalPorts returns h, defaulting to the maximum k-ab+1 (Sec. III-A4).
+func (p Params) GlobalPorts() int {
+	if p.H > 0 {
+		return p.H
+	}
+	return p.K() - p.AB() + 1
+}
+
+// Groups returns g = ab·h + 1, the number of W-groups.
+func (p Params) Groups() int { return p.AB()*p.GlobalPorts() + 1 }
+
+// Terminals returns N of Eq. 1: total chiplets = ab·m²·g.
+func (p Params) Terminals() int {
+	return p.AB() * p.M * p.M * p.Groups()
+}
+
+// Validate rejects configurations where the local port budget is exceeded:
+// a C-group needs ab-1 local + h global ports out of its k external ports.
+func (p Params) Validate() error {
+	if p.N < 1 || p.M < 1 || p.A < 1 || p.B < 1 {
+		return fmt.Errorf("analysis: non-positive parameter in %+v", p)
+	}
+	need := p.AB() - 1 + p.GlobalPorts()
+	if need > p.K() {
+		return fmt.Errorf("analysis: %d ports needed but k = %d", need, p.K())
+	}
+	return nil
+}
+
+// TGlobal returns the Eq. 2 upper bound on global saturation throughput in
+// flits/cycle/chip: (mn − ab + 1)/m².
+func (p Params) TGlobal() float64 {
+	return float64(p.M*p.N-p.AB()+1) / float64(p.M*p.M)
+}
+
+// TLocal returns the Eq. 4 intra-W-group saturation bound: ab/m².
+func (p Params) TLocal() float64 {
+	return float64(p.AB()) / float64(p.M*p.M)
+}
+
+// TCGroup returns the Eq. 5 intra-C-group saturation bound: n/m.
+func (p Params) TCGroup() float64 {
+	return float64(p.N) / float64(p.M)
+}
+
+// BisectionCGroup returns Eq. 6: the full-duplex bisection bandwidth of the
+// 2D-mesh C-group in flits/cycle, nm/2 = k/2.
+func (p Params) BisectionCGroup() float64 {
+	return float64(p.N*p.M) / 2
+}
+
+// Balanced returns the Eq. 3 recommendation (n = 3m, ab = 2m²) for the
+// given m.
+func Balanced(m int) Params {
+	return Params{N: 3 * m, M: m, A: 1, B: 2 * m * m}
+}
+
+// IsBalanced reports whether the configuration satisfies Eq. 3.
+func (p Params) IsBalanced() bool {
+	return p.N == 3*p.M && p.AB() == 2*p.M*p.M
+}
+
+// HopCost is a latency/energy cost pair for one channel class (Table II).
+type HopCost struct {
+	LatencyNS float64
+	EnergyPJ  float64 // pJ/bit
+}
+
+// TableII returns the paper's hop-cost constants.
+func TableII() map[string]HopCost {
+	return map[string]HopCost{
+		"global":  {LatencyNS: 150, EnergyPJ: 20},
+		"local":   {LatencyNS: 150, EnergyPJ: 20},
+		"sr":      {LatencyNS: 5, EnergyPJ: 2},
+		"on-chip": {LatencyNS: 1, EnergyPJ: 0.1},
+	}
+}
+
+// Diameter describes Eq. 7: the worst-case hop composition of the
+// switch-less Dragonfly: Hg + 2·Hl + (8m−2)·Hsr.
+type Diameter struct {
+	Global     int // Hg count
+	Local      int // Hl count
+	ShortReach int // Hsr count
+}
+
+// SLDFDiameter returns Eq. 7 for C-group edge size m (in chiplets).
+func SLDFDiameter(m int) Diameter {
+	return Diameter{Global: 1, Local: 2, ShortReach: 8*m - 2}
+}
+
+// SwitchDragonflyDiameter returns the baseline diameter composition
+// Hg + 2Hl + 2H*l (terminal hops priced as local hops).
+func SwitchDragonflyDiameter() Diameter {
+	return Diameter{Global: 1, Local: 4, ShortReach: 0}
+}
+
+// LatencyNS prices a diameter with Table II constants.
+func (d Diameter) LatencyNS() float64 {
+	c := TableII()
+	return float64(d.Global)*c["global"].LatencyNS +
+		float64(d.Local)*c["local"].LatencyNS +
+		float64(d.ShortReach)*c["sr"].LatencyNS
+}
+
+// PaperRadix16 is the simulated small configuration: each C-group is a 2×2
+// array of chiplets with n=6 interfaces each → k=12 ports (7 local + 5
+// global), ab=8 C-groups per W-group, g=41, 1312 chips.
+func PaperRadix16() Params { return Params{N: 6, M: 2, A: 1, B: 8, H: 5} }
+
+// PaperTableIII is the Slingshot-scale case study of Sec. III-C: n=12, m=4,
+// a=4, b=8 → k=48, ab=32, h=17, g=545, N=279040.
+func PaperTableIII() Params { return Params{N: 12, M: 4, A: 4, B: 8, H: 17} }

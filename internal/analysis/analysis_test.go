@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEq1PaperExamples(t *testing.T) {
+	// "Using a very small configuration (a,b,m,n) = (2,4,2,6), the total
+	// chiplet number can reach 1K" — exactly 1312.
+	p := Params{A: 2, B: 4, M: 2, N: 6}
+	if p.H != 0 {
+		t.Fatal("test expects default h")
+	}
+	if g := p.Groups(); g != 41 {
+		t.Fatalf("g = %d, want 41", g)
+	}
+	if n := p.Terminals(); n != 1312 {
+		t.Fatalf("N = %d, want 1312", n)
+	}
+}
+
+func TestEq1TableIIIConfig(t *testing.T) {
+	p := PaperTableIII()
+	if k := p.K(); k != 48 {
+		t.Fatalf("k = %d, want 48", k)
+	}
+	if ab := p.AB(); ab != 32 {
+		t.Fatalf("ab = %d, want 32", ab)
+	}
+	if h := p.GlobalPorts(); h != 17 {
+		t.Fatalf("h = %d, want 17", h)
+	}
+	if g := p.Groups(); g != 545 {
+		t.Fatalf("g = %d, want 545", g)
+	}
+	if n := p.Terminals(); n != 279040 {
+		t.Fatalf("N = %d, want 279040", n)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEq1Radix16(t *testing.T) {
+	p := PaperRadix16()
+	if p.Groups() != 41 || p.Terminals() != 1312 {
+		t.Fatalf("radix-16 analysis: g=%d N=%d", p.Groups(), p.Terminals())
+	}
+	if p.GlobalPorts() != 5 {
+		t.Fatalf("h = %d, want 5", p.GlobalPorts())
+	}
+}
+
+func TestThroughputBoundsTableIII(t *testing.T) {
+	p := PaperTableIII()
+	// Paper Table III: switch-less Dragonfly Tlocal = 2 (with 3 intra-CG),
+	// Tglobal = 1.
+	if got := p.TLocal(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("Tlocal = %v, want 2", got)
+	}
+	if got := p.TCGroup(); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("Tcg = %v, want 3", got)
+	}
+	if got := p.TGlobal(); math.Abs(got-17.0/16) > 1e-9 {
+		t.Fatalf("Tglobal = %v, want 17/16", got)
+	}
+	// Eq. 6: Bcg = k/2 = 24.
+	if got := p.BisectionCGroup(); math.Abs(got-24) > 1e-9 {
+		t.Fatalf("Bcg = %v, want 24", got)
+	}
+}
+
+func TestBalancedRule(t *testing.T) {
+	for m := 1; m <= 8; m++ {
+		p := Balanced(m)
+		if !p.IsBalanced() {
+			t.Fatalf("Balanced(%d) not balanced: %+v", m, p)
+		}
+		// Balanced configurations achieve Tglobal ≥ 1 flit/cycle/chip
+		// (the paper's load-balance target).
+		if tg := p.TGlobal(); tg < 1-1e-9 {
+			t.Fatalf("balanced m=%d: Tglobal %v < 1", m, tg)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("balanced m=%d invalid: %v", m, err)
+		}
+	}
+}
+
+func TestTGlobalBalancedIsUnity(t *testing.T) {
+	// With Eq. 3 the bound is exactly (3m²-2m²+1)/m² = 1 + 1/m².
+	f := func(mRaw uint8) bool {
+		m := int(mRaw%8) + 1
+		p := Balanced(m)
+		want := 1 + 1/float64(m*m)
+		return math.Abs(p.TGlobal()-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsOverSubscription(t *testing.T) {
+	// ab too large for k: 6·2=12 ports but ab-1+h = 31+1 needed.
+	p := Params{N: 6, M: 2, A: 8, B: 4, H: 1}
+	if err := p.Validate(); err == nil {
+		t.Fatal("oversubscribed config must fail validation")
+	}
+}
+
+func TestDiameterEq7(t *testing.T) {
+	d := SLDFDiameter(4) // m = 4 → 8m-2 = 30 short-reach hops
+	if d.ShortReach != 30 || d.Global != 1 || d.Local != 2 {
+		t.Fatalf("Eq.7 composition %+v", d)
+	}
+	// Latency pricing: 150 + 2·150 + 30·5 = 600 ns.
+	if got := d.LatencyNS(); math.Abs(got-600) > 1e-9 {
+		t.Fatalf("diameter latency %v, want 600", got)
+	}
+	sw := SwitchDragonflyDiameter()
+	// Hg + 2Hl + 2H*l = 5 long hops → 750 ns: the switch-less diameter is
+	// cheaper despite more hops.
+	if got := sw.LatencyNS(); math.Abs(got-750) > 1e-9 {
+		t.Fatalf("switch-based diameter latency %v, want 750", got)
+	}
+}
+
+func TestTableIIConstants(t *testing.T) {
+	c := TableII()
+	if c["global"].EnergyPJ < c["sr"].EnergyPJ || c["sr"].EnergyPJ < c["on-chip"].EnergyPJ {
+		t.Fatal("Table II energy ordering violated")
+	}
+	if c["sr"].LatencyNS >= c["local"].LatencyNS {
+		t.Fatal("short-reach must be faster than cable hops")
+	}
+}
+
+func TestThroughputMonotonicity(t *testing.T) {
+	// Increasing n (chiplet interfaces) must not decrease any bound.
+	f := func(mRaw, nRaw uint8) bool {
+		m := int(mRaw%4) + 1
+		n := int(nRaw%8) + 4
+		p1 := Params{N: n, M: m, A: 1, B: 2, H: 1}
+		p2 := Params{N: n + 1, M: m, A: 1, B: 2, H: 1}
+		return p2.TGlobal() >= p1.TGlobal() &&
+			p2.TCGroup() >= p1.TCGroup() &&
+			p2.BisectionCGroup() >= p1.BisectionCGroup()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package collective models the collective-communication algorithms the
+// paper uses to motivate the switch-less C-group (Sec. III-B4, Fig. 4):
+// ring AllReduce and the 2D row-column algorithm. Algorithms are expressed
+// as sequences of steps; each step is a fixed-volume traffic phase whose
+// makespan is measured on the simulator, so the O(N) vs O(√N) step-count
+// behaviour of Fig. 4 appears as end-to-end cycles.
+package collective
+
+import (
+	"fmt"
+
+	"sldf/internal/netsim"
+	"sldf/internal/traffic"
+)
+
+// Step is one dependent phase of a collective: every participating chip
+// sends Flits flits according to Pattern before the next step may begin.
+type Step struct {
+	Pattern traffic.Pattern
+	Flits   int64
+}
+
+// Schedule is an ordered list of dependent steps.
+type Schedule struct {
+	Name  string
+	Steps []Step
+}
+
+// RingAllReduce returns the classic ring schedule over the chip sequence
+// `order`: 2(N−1) steps (reduce-scatter then all-gather), each moving
+// volume/N flits per chip to its ring successor.
+func RingAllReduce(order []int32, volume int64) Schedule {
+	n := int64(len(order))
+	if n < 2 {
+		return Schedule{Name: "ring-allreduce"}
+	}
+	chunk := (volume + n - 1) / n
+	steps := make([]Step, 0, 2*(n-1))
+	for i := int64(0); i < 2*(n-1); i++ {
+		steps = append(steps, Step{
+			Pattern: traffic.NewRingOrder(order, false),
+			Flits:   chunk,
+		})
+	}
+	return Schedule{Name: "ring-allreduce", Steps: steps}
+}
+
+// BidirRingAllReduce halves the step count by sending both directions
+// simultaneously (each direction carries half the volume).
+func BidirRingAllReduce(order []int32, volume int64) Schedule {
+	n := int64(len(order))
+	if n < 2 {
+		return Schedule{Name: "bidir-ring-allreduce"}
+	}
+	chunk := (volume/2 + n - 1) / n
+	steps := make([]Step, 0, n-1)
+	for i := int64(0); i < n-1; i++ {
+		steps = append(steps, Step{
+			Pattern: traffic.NewRingOrder(order, true),
+			Flits:   2 * chunk, // both directions together
+		})
+	}
+	return Schedule{Name: "bidir-ring-allreduce", Steps: steps}
+}
+
+// TwoDAllReduce returns the row-column schedule of Fig. 4(b) over a
+// rows×cols chip grid (chip = row*cols + col): ring reduce-scatter +
+// all-gather along rows, then along columns — 2(cols−1) + 2(rows−1) steps
+// instead of 2(rows·cols−1).
+func TwoDAllReduce(rows, cols int, volume int64) Schedule {
+	var steps []Step
+	n := int64(rows * cols)
+	if n < 2 {
+		return Schedule{Name: "2d-allreduce"}
+	}
+	// Row phase: independent rings inside each row run concurrently; one
+	// Step covers all rows because the patterns are disjoint.
+	if cols > 1 {
+		rowChunk := (volume + int64(cols) - 1) / int64(cols)
+		perm := make([]int32, rows*cols)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				perm[r*cols+c] = int32(r*cols + (c+1)%cols)
+			}
+		}
+		for i := 0; i < 2*(cols-1); i++ {
+			steps = append(steps, Step{
+				Pattern: traffic.Permutation{Map: perm, Desc: "row-ring"},
+				Flits:   rowChunk,
+			})
+		}
+	}
+	// Column phase: each chip now holds a row-reduced shard; rings run down
+	// the columns.
+	if rows > 1 {
+		colChunk := (volume + n - 1) / n
+		perm := make([]int32, rows*cols)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				perm[r*cols+c] = int32(((r+1)%rows)*cols + c)
+			}
+		}
+		for i := 0; i < 2*(rows-1); i++ {
+			steps = append(steps, Step{
+				Pattern: traffic.Permutation{Map: perm, Desc: "col-ring"},
+				Flits:   colChunk,
+			})
+		}
+	}
+	return Schedule{Name: "2d-allreduce", Steps: steps}
+}
+
+// StepCount returns the number of dependent steps.
+func (s Schedule) StepCount() int { return len(s.Steps) }
+
+// TotalFlitsPerChip returns the data volume each chip transmits.
+func (s Schedule) TotalFlitsPerChip() int64 {
+	var total int64
+	for _, st := range s.Steps {
+		total += st.Flits
+	}
+	return total
+}
+
+// Result is the measured execution of a schedule.
+type Result struct {
+	Cycles     int64   // total makespan
+	StepCycles []int64 // per-step makespan
+	Packets    int64   // packets delivered
+}
+
+// Run executes the schedule on the network: each step's volume is injected
+// (as packetSize-flit packets) and fully drained before the next step
+// starts, modelling the data dependency between collective steps.
+// maxCyclesPerStep bounds each step (0 = 1<<20).
+func Run(net *netsim.Network, s Schedule, packetSize int32, maxCyclesPerStep int64) (Result, error) {
+	if maxCyclesPerStep <= 0 {
+		maxCyclesPerStep = 1 << 20
+	}
+	chips := net.NumChips()
+	nodes := len(net.ChipNodes[0])
+	var res Result
+	startDelivered := net.Snapshot().DeliveredPkts
+	for i, step := range s.Steps {
+		vol := traffic.NewVolume(step.Pattern, step.Flits, packetSize, chips, nodes)
+		net.SetTraffic(vol, packetSize, netsim.DstSameIndex)
+		stepStart := net.Cycle
+		for {
+			if err := net.Run(64); err != nil {
+				return res, fmt.Errorf("collective %s step %d: %w", s.Name, i, err)
+			}
+			if vol.Done() && net.InFlight() == 0 {
+				break
+			}
+			if net.Cycle-stepStart > maxCyclesPerStep {
+				return res, fmt.Errorf("collective %s step %d exceeded %d cycles",
+					s.Name, i, maxCyclesPerStep)
+			}
+		}
+		res.StepCycles = append(res.StepCycles, net.Cycle-stepStart)
+		res.Cycles += net.Cycle - stepStart
+	}
+	res.Packets = net.Snapshot().DeliveredPkts - startDelivered
+	return res, nil
+}
+
+// SnakeOrder returns the boustrophedon chip order for a rows×cols grid,
+// embedding a ring on physically adjacent chips.
+func SnakeOrder(rows, cols int) []int32 {
+	order := make([]int32, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			cc := c
+			if r%2 == 1 {
+				cc = cols - 1 - c
+			}
+			order = append(order, int32(r*cols+cc))
+		}
+	}
+	return order
+}

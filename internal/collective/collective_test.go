@@ -1,0 +1,134 @@
+package collective
+
+import (
+	"testing"
+
+	"sldf/internal/netsim"
+	"sldf/internal/topology"
+)
+
+func buildMesh(t testing.TB, chipletDim int) *topology.MeshCGroup {
+	t.Helper()
+	g, err := topology.BuildMeshCGroup(chipletDim, 2, topology.DefaultLinkClasses(1, 1),
+		netsim.NetworkOptions{Seed: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Net.SetRoute(g.RouteXY())
+	return g
+}
+
+func TestRingScheduleShape(t *testing.T) {
+	order := SnakeOrder(4, 4)
+	s := RingAllReduce(order, 1600)
+	if s.StepCount() != 30 { // 2(N-1) with N=16
+		t.Fatalf("ring steps = %d, want 30", s.StepCount())
+	}
+	if s.Steps[0].Flits != 100 {
+		t.Fatalf("chunk = %d, want 100", s.Steps[0].Flits)
+	}
+}
+
+func TestTwoDScheduleShape(t *testing.T) {
+	s := TwoDAllReduce(4, 4, 1600)
+	if s.StepCount() != 12 { // 2(4-1)+2(4-1)
+		t.Fatalf("2D steps = %d, want 12", s.StepCount())
+	}
+	// Far fewer dependent steps than the flat ring.
+	if s.StepCount() >= RingAllReduce(SnakeOrder(4, 4), 1600).StepCount() {
+		t.Fatal("2D must need fewer steps than the ring")
+	}
+}
+
+func TestBidirHalvesSteps(t *testing.T) {
+	order := SnakeOrder(2, 2)
+	uni := RingAllReduce(order, 400)
+	bi := BidirRingAllReduce(order, 400)
+	if bi.StepCount() != uni.StepCount()/2 {
+		t.Fatalf("bidir steps %d, uni %d", bi.StepCount(), uni.StepCount())
+	}
+}
+
+func TestSnakeOrderAdjacency(t *testing.T) {
+	order := SnakeOrder(4, 4)
+	if len(order) != 16 {
+		t.Fatalf("order len %d", len(order))
+	}
+	seen := map[int32]bool{}
+	for i, c := range order {
+		if seen[c] {
+			t.Fatalf("duplicate chip %d", c)
+		}
+		seen[c] = true
+		if i == 0 {
+			continue
+		}
+		// Consecutive chips must be grid-adjacent.
+		pr, pc := order[i-1]/4, order[i-1]%4
+		cr, cc := c/4, c%4
+		if abs(pr-cr)+abs(pc-cc) != 1 {
+			t.Fatalf("snake break between %d and %d", order[i-1], c)
+		}
+	}
+}
+
+func abs(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestRunRingCompletes(t *testing.T) {
+	g := buildMesh(t, 2) // 4 chips
+	defer g.Net.Close()
+	s := RingAllReduce(SnakeOrder(2, 2), 256)
+	res, err := Run(g.Net, s, 4, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 || len(res.StepCycles) != s.StepCount() {
+		t.Fatalf("bad result %+v", res)
+	}
+	// Every chip transmits per step: 4 chips × 64 flits/step packets.
+	wantPkts := int64(s.StepCount()) * 4 * (64 / 4) / 4 * 4
+	if res.Packets != wantPkts {
+		t.Fatalf("packets %d, want %d", res.Packets, wantPkts)
+	}
+}
+
+func TestTwoDBeatsRingOnMesh(t *testing.T) {
+	// Fig. 4's point: on a 16-chip C-group mesh the 2D algorithm's O(√N)
+	// dependent steps finish far sooner than the ring's O(N).
+	const volume = 512
+	ring := func() int64 {
+		g := buildMesh(t, 4)
+		defer g.Net.Close()
+		res, err := Run(g.Net, RingAllReduce(SnakeOrder(4, 4), volume), 4, 1<<18)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}()
+	twoD := func() int64 {
+		g := buildMesh(t, 4)
+		defer g.Net.Close()
+		res, err := Run(g.Net, TwoDAllReduce(4, 4, volume), 4, 1<<18)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}()
+	if twoD >= ring {
+		t.Fatalf("2D makespan %d not better than ring %d", twoD, ring)
+	}
+}
+
+func TestEmptySchedules(t *testing.T) {
+	if RingAllReduce(nil, 100).StepCount() != 0 {
+		t.Fatal("empty ring must have no steps")
+	}
+	if TwoDAllReduce(1, 1, 100).StepCount() != 0 {
+		t.Fatal("1x1 2D must have no steps")
+	}
+}

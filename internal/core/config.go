@@ -1,0 +1,140 @@
+// Package core wires the substrates together: it builds each evaluated
+// system (switch-based Dragonfly, switch-less Dragonfly, single switch,
+// standalone C-group mesh), runs open-loop load points with Table IV
+// parameters, and provides the per-figure experiment runners used by the
+// benchmark harness and the sldffigures command.
+package core
+
+import (
+	"fmt"
+
+	"sldf/internal/netsim"
+	"sldf/internal/routing"
+	"sldf/internal/topology"
+)
+
+// SystemKind identifies one of the evaluated network systems.
+type SystemKind uint8
+
+const (
+	// SwitchDragonfly is the switch-based Dragonfly baseline ("SW-based").
+	SwitchDragonfly SystemKind = iota
+	// SwitchlessDragonfly is the paper's contribution ("SW-less").
+	SwitchlessDragonfly
+	// SingleSwitch is one non-blocking switch with terminals (Fig. 10a-b).
+	SingleSwitch
+	// MeshCGroup is a standalone wafer C-group mesh (Fig. 10a-b).
+	MeshCGroup
+)
+
+// String names the system kind.
+func (k SystemKind) String() string {
+	switch k {
+	case SwitchDragonfly:
+		return "sw-based"
+	case SwitchlessDragonfly:
+		return "sw-less"
+	case SingleSwitch:
+		return "switch"
+	case MeshCGroup:
+		return "2d-mesh"
+	}
+	return "unknown"
+}
+
+// Config fully describes a system to simulate.
+type Config struct {
+	Kind SystemKind
+
+	// DF parameterizes SwitchDragonfly.
+	DF topology.DragonflyParams
+	// SLDF parameterizes SwitchlessDragonfly.
+	SLDF topology.SLDFParams
+	// Terminals parameterizes SingleSwitch.
+	Terminals int
+	// ChipletDim/NoCDim parameterize MeshCGroup.
+	ChipletDim int
+	NoCDim     int
+
+	// Scheme selects the SLDF VC discipline (ignored by other kinds).
+	Scheme routing.Scheme
+	// Mode selects minimal or Valiant routing (SLDF and Dragonfly).
+	Mode routing.Mode
+	// IntraWidth multiplies intra-C-group link bandwidth: 1 = paper
+	// uniform, 2 = "2B", 4 = "4B".
+	IntraWidth int32
+
+	Seed           uint64
+	Workers        int
+	WatchdogCycles int64
+}
+
+// SimParams are the measurement-window parameters (paper Table IV).
+type SimParams struct {
+	Warmup     int64 // cycles before the window opens
+	Measure    int64 // window length
+	ExtraDrain int64 // post-window cycles (traffic stays on) to flush packets
+	PacketSize int32 // flits
+}
+
+// DefaultSim returns the Table IV defaults: 4-flit packets, 5000 warmup,
+// 10000 measured cycles.
+func DefaultSim() SimParams {
+	return SimParams{Warmup: 5000, Measure: 10000, ExtraDrain: 5000, PacketSize: 4}
+}
+
+// QuickSim returns CI-scale parameters for tests and -quick runs.
+func QuickSim() SimParams {
+	return SimParams{Warmup: 400, Measure: 800, ExtraDrain: 400, PacketSize: 4}
+}
+
+// Radix16SLDF returns the paper's small evaluated switch-less system:
+// 2×2 chiplets of 2×2 NoC nodes per C-group, 12 external ports (7 local +
+// 5 global), 8 C-groups per W-group, 41 W-groups, 1312 chips.
+func Radix16SLDF() topology.SLDFParams {
+	return topology.SLDFParams{NoCDim: 2, ChipCols: 2, ChipRows: 2, AB: 8, H: 5}
+}
+
+// Radix16DF returns the matching switch-based baseline: radix-16 switches
+// with terminal:local:global = 4:7:5.
+func Radix16DF() topology.DragonflyParams {
+	return topology.DragonflyParams{P: 4, A: 8, H: 5}
+}
+
+// Radix32SLDF returns the paper's large evaluated system: 8 chips per
+// C-group (4×2 chiplets), 24 external ports (15 local + 9 global), 16
+// C-groups per W-group, 145 W-groups, 18560 chips.
+func Radix32SLDF() topology.SLDFParams {
+	return topology.SLDFParams{NoCDim: 2, ChipCols: 4, ChipRows: 2, AB: 16, H: 9}
+}
+
+// Radix32DF returns the large switch-based baseline (8:15:9).
+func Radix32DF() topology.DragonflyParams {
+	return topology.DragonflyParams{P: 8, A: 16, H: 9}
+}
+
+// Radix24SLDF is a mid-size stand-in for scalability studies at CI scale
+// (6120 chips): used by -quick runs of Fig. 12.
+func Radix24SLDF() topology.SLDFParams {
+	return topology.SLDFParams{NoCDim: 2, ChipCols: 3, ChipRows: 2, AB: 12, H: 7}
+}
+
+// Radix24DF is the matching switch-based stand-in (6:11:7).
+func Radix24DF() topology.DragonflyParams {
+	return topology.DragonflyParams{P: 6, A: 12, H: 7}
+}
+
+func (c Config) validate() error {
+	if c.IntraWidth != 0 && c.IntraWidth != 1 && c.IntraWidth != 2 && c.IntraWidth != 4 {
+		return fmt.Errorf("core: IntraWidth must be 1, 2 or 4 (got %d)", c.IntraWidth)
+	}
+	return nil
+}
+
+func (c Config) netOptions() netsim.NetworkOptions {
+	return netsim.NetworkOptions{
+		Seed:           c.Seed,
+		Workers:        c.Workers,
+		WatchdogCycles: c.WatchdogCycles,
+	}
+}

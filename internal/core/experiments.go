@@ -1,0 +1,391 @@
+package core
+
+import (
+	"fmt"
+
+	"sldf/internal/metrics"
+	"sldf/internal/routing"
+	"sldf/internal/traffic"
+)
+
+// Scale selects experiment fidelity: ScaleQuick shrinks cycle counts, rate
+// grids and (for Fig. 12) the large system so the whole campaign runs on a
+// laptop/CI; ScalePaper uses Table IV windows and the paper's systems.
+type Scale uint8
+
+const (
+	// ScaleQuick is CI-sized.
+	ScaleQuick Scale = iota
+	// ScalePaper is the paper's full configuration.
+	ScalePaper
+)
+
+// Sim returns the measurement parameters for the scale.
+func (s Scale) Sim() SimParams {
+	if s == ScalePaper {
+		return DefaultSim()
+	}
+	return SimParams{Warmup: 600, Measure: 1200, ExtraDrain: 600, PacketSize: 4}
+}
+
+// grid builds an inclusive rate grid.
+func grid(lo, hi, step float64) []float64 {
+	var out []float64
+	for r := lo; r <= hi+1e-9; r += step {
+		out = append(out, r)
+	}
+	return out
+}
+
+// rates returns a figure's x-axis for the scale: the paper grid, or a
+// thinned version for quick runs.
+func (s Scale) rates(lo, hi, step float64) []float64 {
+	if s == ScalePaper {
+		return grid(lo, hi, step)
+	}
+	return grid(lo, hi, step*2)
+}
+
+const seed = 0x5EEDF00D
+
+// Fig10 reproduces Fig. 10: (a,b) intra-C-group switch vs 2D-mesh under
+// uniform and bit-reverse; (c-f) intra-W-group SW-based vs SW-less vs
+// SW-less-2B under uniform, bit-reverse, bit-shuffle and bit-transpose.
+func Fig10(scale Scale) ([]metrics.Figure, error) {
+	sp := scale.Sim()
+	var figs []metrics.Figure
+
+	// (a, b): one C-group of 2×2 chiplets (4×4 NoC routers) vs one switch
+	// with 4 chips.
+	intra := []struct {
+		name, title, pattern string
+		lo, hi, step         float64
+	}{
+		{"fig10a", "Intra-C-group: Uniform", "uniform", 0.25, 3.5, 0.25},
+		{"fig10b", "Intra-C-group: Bit-reverse", "bit-reverse", 0.2, 2.4, 0.2},
+	}
+	for _, f := range intra {
+		fig := metrics.Figure{Name: f.name, Title: f.title,
+			XLabel: "Injection Rate (flits/cycle/chip)", YLabel: "Average Latency (cycles)"}
+		for _, cfg := range []Config{
+			{Kind: SingleSwitch, Terminals: 4, Seed: seed},
+			{Kind: MeshCGroup, ChipletDim: 2, NoCDim: 2, Seed: seed},
+		} {
+			s, err := Sweep(cfg, f.pattern, scale.rates(f.lo, f.hi, f.step), sp)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", f.name, err)
+			}
+			fig.Series = append(fig.Series, s)
+		}
+		figs = append(figs, fig)
+	}
+
+	// (c-f): one W-group (8 C-groups / 32 chips) in isolation.
+	local := []struct {
+		name, title, pattern string
+		lo, hi, step         float64
+	}{
+		{"fig10c", "Local: Uniform", "uniform", 0.2, 2.0, 0.2},
+		{"fig10d", "Local: Bit-reverse", "bit-reverse", 0.2, 1.6, 0.2},
+		{"fig10e", "Local: Bit-shuffle", "bit-shuffle", 0.05, 0.5, 0.05},
+		{"fig10f", "Local: Bit-transpose", "bit-transpose", 0.2, 1.8, 0.2},
+	}
+	swb := Config{Kind: SwitchDragonfly, DF: Radix16DF(), Seed: seed}
+	swb.DF.G = 1
+	swl := Config{Kind: SwitchlessDragonfly, SLDF: Radix16SLDF(), Seed: seed}
+	swl.SLDF.G = 1
+	swl2 := swl
+	swl2.IntraWidth = 2
+	for _, f := range local {
+		fig := metrics.Figure{Name: f.name, Title: f.title,
+			XLabel: "Injection Rate (flits/cycle/chip)", YLabel: "Average Latency (cycles)"}
+		for _, cfg := range []Config{swb, swl, swl2} {
+			s, err := Sweep(cfg, f.pattern, scale.rates(f.lo, f.hi, f.step), sp)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", f.name, err)
+			}
+			fig.Series = append(fig.Series, s)
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+// Fig11 reproduces Fig. 11: global performance of the full radix-16 system
+// (41 W-groups, 1312 chips) under uniform and bit-reverse traffic.
+func Fig11(scale Scale) ([]metrics.Figure, error) {
+	sp := scale.Sim()
+	swb := Config{Kind: SwitchDragonfly, DF: Radix16DF(), Seed: seed}
+	swl := Config{Kind: SwitchlessDragonfly, SLDF: Radix16SLDF(), Seed: seed}
+	swl2 := swl
+	swl2.IntraWidth = 2
+	var figs []metrics.Figure
+	cases := []struct {
+		name, title, pattern string
+		lo, hi, step         float64
+	}{
+		{"fig11a", "Global: Uniform", "uniform", 0.1, 1.0, 0.1},
+		{"fig11b", "Global: Bit-reverse", "bit-reverse", 0.1, 0.6, 0.1},
+	}
+	for _, f := range cases {
+		fig := metrics.Figure{Name: f.name, Title: f.title,
+			XLabel: "Injection Rate (flits/cycle/chip)", YLabel: "Average Latency (cycles)"}
+		for _, cfg := range []Config{swb, swl, swl2} {
+			s, err := Sweep(cfg, f.pattern, scale.rates(f.lo, f.hi, f.step), sp)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", f.name, err)
+			}
+			fig.Series = append(fig.Series, s)
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+// Fig12 reproduces Fig. 12 (scalability): the large system's local
+// (intra-W-group traffic on the full network) and global performance.
+// ScalePaper uses the radix-32 system (18560 chips); ScaleQuick a radix-24
+// stand-in (6120 chips) with the same structure.
+func Fig12(scale Scale) ([]metrics.Figure, error) {
+	sp := scale.Sim()
+	var dfP = Radix24DF()
+	var slP = Radix24SLDF()
+	if scale == ScalePaper {
+		dfP = Radix32DF()
+		slP = Radix32SLDF()
+	}
+	swb := Config{Kind: SwitchDragonfly, DF: dfP, Seed: seed}
+	swl := Config{Kind: SwitchlessDragonfly, SLDF: slP, Seed: seed}
+	swl2 := swl
+	swl2.IntraWidth = 2
+	swl4 := swl
+	swl4.IntraWidth = 4
+
+	var figs []metrics.Figure
+
+	// (a) Local: traffic confined to W-group 0 of the full system.
+	// The large systems dominate the campaign's runtime; quick scale uses a
+	// deliberately coarse grid.
+	localRates := scale.rates(0.25, 1.5, 0.25)
+	globalRates := scale.rates(0.1, 0.8, 0.1)
+	if scale == ScaleQuick {
+		localRates = []float64{0.4, 0.9, 1.4}
+		globalRates = []float64{0.2, 0.4, 0.6}
+	}
+
+	figA := metrics.Figure{Name: "fig12a", Title: "Scalability: Local Uniform",
+		XLabel: "Injection Rate (flits/cycle/chip)", YLabel: "Average Latency (cycles)"}
+	for _, cfg := range []Config{swb, swl, swl2} {
+		mk := func(sys *System) traffic.Pattern {
+			return traffic.Uniform{N: int32(sys.ChipsPerGroup)}
+		}
+		s, err := SweepScoped(cfg, mk, "", localRates, sp)
+		if err != nil {
+			return nil, fmt.Errorf("fig12a: %w", err)
+		}
+		figA.Series = append(figA.Series, s)
+	}
+	figs = append(figs, figA)
+
+	// (b) Global uniform across the whole system.
+	figB := metrics.Figure{Name: "fig12b", Title: "Scalability: Global Uniform",
+		XLabel: "Injection Rate (flits/cycle/chip)", YLabel: "Average Latency (cycles)"}
+	for _, cfg := range []Config{swb, swl, swl2, swl4} {
+		s, err := Sweep(cfg, "uniform", globalRates, sp)
+		if err != nil {
+			return nil, fmt.Errorf("fig12b: %w", err)
+		}
+		figB.Series = append(figB.Series, s)
+	}
+	figs = append(figs, figB)
+	return figs, nil
+}
+
+// Fig13 reproduces Fig. 13: adversarial traffic (hotspot over 4 W-groups
+// and the worst-case Wi→Wi+1 pattern) under minimal vs non-minimal routing
+// on the radix-16 system.
+func Fig13(scale Scale) ([]metrics.Figure, error) {
+	sp := scale.Sim()
+	mk := func(mode routing.Mode, kind SystemKind, width int32) Config {
+		c := Config{Kind: kind, Seed: seed, Mode: mode, IntraWidth: width}
+		if kind == SwitchDragonfly {
+			c.DF = Radix16DF()
+		} else {
+			c.SLDF = Radix16SLDF()
+		}
+		return c
+	}
+	cfgs := []Config{
+		mk(routing.Minimal, SwitchDragonfly, 0),
+		mk(routing.Minimal, SwitchlessDragonfly, 0),
+		mk(routing.Valiant, SwitchDragonfly, 0),
+		mk(routing.Valiant, SwitchlessDragonfly, 0),
+		mk(routing.Valiant, SwitchlessDragonfly, 2),
+	}
+	var figs []metrics.Figure
+	cases := []struct {
+		name, title, pattern string
+		lo, hi, step         float64
+	}{
+		{"fig13a", "Adversarial: Hotspot (4 W-groups)", "hotspot", 0.08, 0.8, 0.08},
+		{"fig13b", "Adversarial: Worst-Case", "worst-case", 0.048, 0.48, 0.048},
+	}
+	for _, f := range cases {
+		fig := metrics.Figure{Name: f.name, Title: f.title,
+			XLabel: "Injection Rate (flits/cycle/chip)", YLabel: "Average Latency (cycles)"}
+		for _, cfg := range cfgs {
+			s, err := Sweep(cfg, f.pattern, scale.rates(f.lo, f.hi, f.step), sp)
+			if err != nil {
+				return nil, fmt.Errorf("%s(%s): %w", f.name, f.pattern, err)
+			}
+			fig.Series = append(fig.Series, s)
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+// Fig14 reproduces Fig. 14: ring-AllReduce traffic within a C-group (a) and
+// within a W-group (b), with unidirectional and bidirectional rings.
+func Fig14(scale Scale) ([]metrics.Figure, error) {
+	sp := scale.Sim()
+	var figs []metrics.Figure
+
+	// (a) Intra-C-group: 4 chips on one switch vs the 4×4 C-group mesh.
+	figA := metrics.Figure{Name: "fig14a", Title: "AllReduce: Intra-C-group",
+		XLabel: "Injection Rate (flits/cycle/chip)", YLabel: "Average Latency (cycles)"}
+	swbA := Config{Kind: SingleSwitch, Terminals: 4, Seed: seed}
+	swlA := Config{Kind: MeshCGroup, ChipletDim: 2, NoCDim: 2, Seed: seed}
+	for _, c := range []struct {
+		cfg     Config
+		pattern string
+		label   string
+	}{
+		{swbA, "ring", "sw-based-uni"},
+		{swlA, "ring", "sw-less-uni"},
+		{swbA, "ring-bidir", "sw-based-bi"},
+		{swlA, "ring-bidir", "sw-less-bi"},
+	} {
+		s, err := Sweep(c.cfg, c.pattern, scale.rates(0.4, 4.0, 0.4), sp)
+		if err != nil {
+			return nil, fmt.Errorf("fig14a: %w", err)
+		}
+		s.Label = c.label
+		figA.Series = append(figA.Series, s)
+	}
+	figs = append(figs, figA)
+
+	// (b) Intra-W-group: single-W-group systems, ring over 32 chips.
+	figB := metrics.Figure{Name: "fig14b", Title: "AllReduce: Intra-W-group",
+		XLabel: "Injection Rate (flits/cycle/chip)", YLabel: "Average Latency (cycles)"}
+	swbB := Config{Kind: SwitchDragonfly, DF: Radix16DF(), Seed: seed}
+	swbB.DF.G = 1
+	swlB := Config{Kind: SwitchlessDragonfly, SLDF: Radix16SLDF(), Seed: seed}
+	swlB.SLDF.G = 1
+	swlB2 := swlB
+	swlB2.IntraWidth = 2
+	for _, c := range []struct {
+		cfg     Config
+		pattern string
+		label   string
+	}{
+		{swbB, "ring", "sw-based-uni"},
+		{swlB, "ring", "sw-less-uni"},
+		{swbB, "ring-bidir", "sw-based-bi"},
+		{swlB, "ring-bidir", "sw-less-bi"},
+		{swlB2, "ring-bidir", "sw-less-bi-2B"},
+	} {
+		s, err := Sweep(c.cfg, c.pattern, scale.rates(0.2, 2.0, 0.2), sp)
+		if err != nil {
+			return nil, fmt.Errorf("fig14b: %w", err)
+		}
+		s.Label = c.label
+		figB.Series = append(figB.Series, s)
+	}
+	figs = append(figs, figB)
+	return figs, nil
+}
+
+// EnergyBar is one bar of Fig. 15: average transmission energy split into
+// intra- and inter-C-group components.
+type EnergyBar struct {
+	Label string
+	Intra float64 // pJ/bit inside C-groups (NoC + short-reach)
+	Inter float64 // pJ/bit on long-reach cables
+}
+
+// Total returns the bar height.
+func (b EnergyBar) Total() float64 { return b.Intra + b.Inter }
+
+// EnergyFigure is one panel of Fig. 15.
+type EnergyFigure struct {
+	Name  string
+	Title string
+	Bars  []EnergyBar
+}
+
+// Fig15 reproduces Fig. 15: average energy per transmission for minimal and
+// non-minimal routing on the small (radix-16) and large system, measured
+// from delivered-packet hop traces under uniform traffic priced with the
+// paper's simplified intra-C-group model (Sec. V-C).
+func Fig15(scale Scale) ([]EnergyFigure, error) {
+	sp := scale.Sim()
+	rate := 0.3
+
+	run := func(name, title string, df Config, sl Config) (EnergyFigure, error) {
+		fig := EnergyFigure{Name: name, Title: title}
+		for _, c := range []struct {
+			cfg   Config
+			label string
+		}{
+			{df, "sw-based"},
+			{sl, "sw-less"},
+			{withMode(df, routing.Valiant), "sw-based-mis"},
+			{withMode(sl, routing.Valiant), "sw-less-mis"},
+		} {
+			sys, err := Build(c.cfg)
+			if err != nil {
+				return fig, err
+			}
+			pat, err := sys.PatternFor("uniform")
+			if err != nil {
+				sys.Close()
+				return fig, err
+			}
+			res, err := sys.MeasureLoad(pat, rate, sp)
+			sys.Close()
+			if err != nil {
+				return fig, err
+			}
+			st := res.Stats
+			// Simplified pricing: every intra-C-group hop ≈ 1 pJ/bit.
+			intra := st.MeanHops(0)*1 + st.MeanHops(1)*1
+			inter := st.MeanHops(2)*20 + st.MeanHops(3)*20
+			fig.Bars = append(fig.Bars, EnergyBar{Label: c.label, Intra: intra, Inter: inter})
+		}
+		return fig, nil
+	}
+
+	small, err := run("fig15a", "Energy: Small-Scale (radix-16)",
+		Config{Kind: SwitchDragonfly, DF: Radix16DF(), Seed: seed},
+		Config{Kind: SwitchlessDragonfly, SLDF: Radix16SLDF(), Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	dfL, slL := Radix24DF(), Radix24SLDF()
+	if scale == ScalePaper {
+		dfL, slL = Radix32DF(), Radix32SLDF()
+	}
+	large, err := run("fig15b", "Energy: Large-Scale",
+		Config{Kind: SwitchDragonfly, DF: dfL, Seed: seed},
+		Config{Kind: SwitchlessDragonfly, SLDF: slL, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return []EnergyFigure{small, large}, nil
+}
+
+func withMode(c Config, m routing.Mode) Config {
+	c.Mode = m
+	return c
+}

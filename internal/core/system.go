@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+
+	"sldf/internal/energy"
+	"sldf/internal/metrics"
+	"sldf/internal/netsim"
+	"sldf/internal/routing"
+	"sldf/internal/topology"
+	"sldf/internal/traffic"
+)
+
+// System is a built, routable network ready to run load points.
+type System struct {
+	Cfg   Config
+	Net   *netsim.Network
+	Label string
+
+	Chips         int
+	NodesPerChip  int
+	Groups        int // W-groups (1 for single-switch / mesh systems)
+	ChipsPerGroup int
+
+	// SLDF exposes the switch-less topology tables when Kind is
+	// SwitchlessDragonfly (nil otherwise); likewise DF for the baseline.
+	SLDF *topology.SLDF
+	DF   *topology.Dragonfly
+}
+
+// Build constructs the system described by cfg.
+func Build(cfg Config) (*System, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	width := cfg.IntraWidth
+	if width == 0 {
+		width = 1
+	}
+	sys := &System{Cfg: cfg}
+
+	switch cfg.Kind {
+	case SingleSwitch:
+		classes := topology.DefaultLinkClasses(1, width)
+		s, err := topology.BuildSingleSwitch(cfg.Terminals, classes, cfg.netOptions())
+		if err != nil {
+			return nil, err
+		}
+		s.Net.SetRoute(s.Route())
+		sys.Net = s.Net
+		sys.Label = "switch"
+		sys.Groups = 1
+
+	case MeshCGroup:
+		classes := topology.DefaultLinkClasses(1, width)
+		g, err := topology.BuildMeshCGroup(cfg.ChipletDim, cfg.NoCDim, classes, cfg.netOptions())
+		if err != nil {
+			return nil, err
+		}
+		g.Net.SetRoute(g.RouteXY())
+		sys.Net = g.Net
+		sys.Label = "2d-mesh"
+		sys.Groups = 1
+
+	case SwitchDragonfly:
+		vcs := routing.DragonflyVCCount(cfg.Mode)
+		classes := topology.DefaultLinkClasses(vcs, width)
+		df, err := topology.BuildDragonfly(cfg.DF, classes, cfg.netOptions())
+		if err != nil {
+			return nil, err
+		}
+		route, err := routing.DragonflyRoute(df, cfg.Mode)
+		if err != nil {
+			return nil, err
+		}
+		df.Net.SetRoute(route)
+		sys.Net = df.Net
+		sys.DF = df
+		sys.Label = "sw-based"
+		if cfg.Mode == routing.Valiant {
+			sys.Label += "-mis"
+		}
+		sys.Groups = cfg.DF.Groups()
+
+	case SwitchlessDragonfly:
+		params := cfg.SLDF
+		if cfg.Mode == routing.ValiantLower {
+			// The restricted-lower mode is defined on the reduced scheme.
+			cfg.Scheme = routing.ReducedVC
+		}
+		if cfg.Scheme == routing.ReducedVC {
+			params.Layout = topology.LayoutSouthNorth
+		}
+		vcs := routing.SLDFVCCount(cfg.Scheme, cfg.Mode)
+		classes := topology.DefaultLinkClasses(vcs, width)
+		s, err := topology.BuildSLDF(params, classes, cfg.netOptions())
+		if err != nil {
+			return nil, err
+		}
+		sr, err := routing.NewSLDFRouter(s, cfg.Scheme, cfg.Mode)
+		if err != nil {
+			return nil, err
+		}
+		sr.Install(s.Net)
+		sys.Net = s.Net
+		sys.SLDF = s
+		sys.Label = "sw-less"
+		if width > 1 {
+			sys.Label += fmt.Sprintf("-%dB", width)
+		}
+		switch cfg.Mode {
+		case routing.Valiant:
+			sys.Label += "-mis"
+		case routing.ValiantLower:
+			sys.Label += "-mis-lower"
+		case routing.Adaptive:
+			sys.Label += "-ugal"
+		}
+		if cfg.Scheme == routing.ReducedVC {
+			sys.Label += "-rvc"
+		}
+		sys.Groups = params.Groups()
+
+	default:
+		return nil, fmt.Errorf("core: unknown system kind %d", cfg.Kind)
+	}
+
+	sys.Chips = sys.Net.NumChips()
+	sys.NodesPerChip = len(sys.Net.ChipNodes[0])
+	sys.ChipsPerGroup = sys.Chips / sys.Groups
+	return sys, nil
+}
+
+// Close releases the system's worker pool.
+func (s *System) Close() { s.Net.Close() }
+
+// Result is one measured load point with its raw statistics and the
+// Table II energy pricing of the observed hop mix.
+type Result struct {
+	Rate   float64
+	Point  metrics.Point
+	Stats  netsim.Stats
+	Energy energy.Breakdown
+	// Utilization is the aggregate link utilization per channel class over
+	// the measurement window (1.0 = every link of the class saturated).
+	Utilization [netsim.NumHopClasses]float64
+	// Hottest lists the most loaded links, for bottleneck analysis.
+	Hottest []netsim.LinkUtil
+}
+
+// MeasureLoad runs one open-loop load point on a freshly built system:
+// warmup, measurement window, and a drain tail with traffic still offered.
+// The system's network is consumed (statistics accumulate); build a new
+// System for the next point.
+func (s *System) MeasureLoad(pat traffic.Pattern, rate float64, sp SimParams) (Result, error) {
+	gen := traffic.NewRate(pat, rate, sp.PacketSize, s.NodesPerChip)
+	s.Net.SetTraffic(gen, sp.PacketSize, netsim.DstSameIndex)
+	if err := s.Net.Run(sp.Warmup); err != nil {
+		return Result{}, fmt.Errorf("%s warmup: %w", s.Label, err)
+	}
+	s.Net.StartMeasurement()
+	if err := s.Net.Run(sp.Measure); err != nil {
+		return Result{}, fmt.Errorf("%s measure: %w", s.Label, err)
+	}
+	s.Net.StopMeasurement()
+	if err := s.Net.Run(sp.ExtraDrain); err != nil {
+		return Result{}, fmt.Errorf("%s drain: %w", s.Label, err)
+	}
+	st := s.Net.Snapshot()
+	byClass, hottest := s.Net.LinkUtilization(8)
+	return Result{
+		Rate: rate,
+		Point: metrics.Point{
+			Rate:       rate,
+			Latency:    st.MeanLatency(),
+			P50:        float64(st.Latency.Quantile(0.5)),
+			P99:        float64(st.Latency.Quantile(0.99)),
+			Throughput: st.Throughput(),
+		},
+		Stats:       st,
+		Energy:      energy.FromStats(st, energy.TableII()),
+		Utilization: byClass,
+		Hottest:     hottest,
+	}, nil
+}
+
+// PatternFor builds a standard pattern scoped to this system's chips.
+func (s *System) PatternFor(name string) (traffic.Pattern, error) {
+	switch name {
+	case "hotspot":
+		n := 4
+		if s.Groups < n {
+			n = s.Groups
+		}
+		hot := make([]int32, n)
+		for i := range hot {
+			hot[i] = int32(i)
+		}
+		return traffic.Hotspot{ChipsPerGroup: int32(s.ChipsPerGroup), HotGroups: hot}, nil
+	case "worst-case", "worstcase":
+		return traffic.WorstCase{ChipsPerGroup: int32(s.ChipsPerGroup), Groups: int32(s.Groups)}, nil
+	case "ring":
+		return s.ringPattern(false), nil
+	case "ring-bidir":
+		return s.ringPattern(true), nil
+	default:
+		return traffic.ByName(name, int32(s.Chips))
+	}
+}
+
+// ringPattern embeds a ring over the system's chips. On a mesh C-group the
+// ring follows a snake (boustrophedon) order so consecutive chips are
+// physically adjacent, as a real collective library would schedule it; on
+// other systems the chip ID order already walks C-groups consecutively.
+func (s *System) ringPattern(bidir bool) traffic.Pattern {
+	if s.Cfg.Kind == MeshCGroup {
+		dim := s.Cfg.ChipletDim
+		order := make([]int32, 0, s.Chips)
+		for row := 0; row < dim; row++ {
+			for col := 0; col < dim; col++ {
+				c := col
+				if row%2 == 1 {
+					c = dim - 1 - col
+				}
+				order = append(order, int32(row*dim+c))
+			}
+		}
+		return traffic.NewRingOrder(order, bidir)
+	}
+	return traffic.Ring{N: int32(s.Chips), Bidirectional: bidir}
+}
+
+// Sweep measures a series of load points, building a fresh system per
+// point so that every measurement starts from an empty network.
+func Sweep(cfg Config, patternName string, rates []float64, sp SimParams) (metrics.Series, error) {
+	var series metrics.Series
+	for _, rate := range rates {
+		sys, err := Build(cfg)
+		if err != nil {
+			return series, err
+		}
+		if series.Label == "" {
+			series.Label = sys.Label
+		}
+		pat, err := sys.PatternFor(patternName)
+		if err != nil {
+			sys.Close()
+			return series, err
+		}
+		res, err := sys.MeasureLoad(pat, rate, sp)
+		sys.Close()
+		if err != nil {
+			return series, err
+		}
+		series.Points = append(series.Points, res.Point)
+	}
+	return series, nil
+}
+
+// SweepScoped is Sweep with a caller-supplied pattern factory, for traffic
+// confined to a subset of chips (e.g. one W-group of a large system).
+func SweepScoped(cfg Config, mkPattern func(*System) traffic.Pattern, label string, rates []float64, sp SimParams) (metrics.Series, error) {
+	series := metrics.Series{Label: label}
+	for _, rate := range rates {
+		sys, err := Build(cfg)
+		if err != nil {
+			return series, err
+		}
+		if series.Label == "" {
+			series.Label = sys.Label
+		}
+		res, err := sys.MeasureLoad(mkPattern(sys), rate, sp)
+		sys.Close()
+		if err != nil {
+			return series, err
+		}
+		series.Points = append(series.Points, res.Point)
+	}
+	return series, nil
+}

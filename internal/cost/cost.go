@@ -1,0 +1,249 @@
+// Package cost reproduces the paper's case-study comparison (Sec. III-C,
+// Table III) and the datacenter-chip survey (Table I).
+//
+// Every derived quantity is computed from first principles with the paper's
+// stated assumptions: 64-port switches; 64 blades × 2 nodes per compute
+// cabinet; 8 top-of-rack switches per cabinet; 32 core-layer switches per
+// switch cabinet; 16 Hx4Mesh boards or 8 PolarFly co-packages per cabinet;
+// 8 wafers per switch-less-Dragonfly cabinet. Cable length is reported as
+// inter-cabinet link count × mean cabinet distance in units of E (the
+// datacenter grid pitch); the paper's own length figures use an unstated
+// distance model, so ratios — not absolute lengths — are the comparison
+// target.
+package cost
+
+import "fmt"
+
+// ChipSpec is one column of Table I.
+type ChipSpec struct {
+	Name       string
+	Category   string // "switching" or "computing"
+	Lanes      int
+	DataRateGb float64 // per-lane Gbps
+}
+
+// ThroughputTb returns aggregate IO throughput in Tb/s.
+func (c ChipSpec) ThroughputTb() float64 {
+	return float64(c.Lanes) * c.DataRateGb / 1000
+}
+
+// TableI returns the paper's chip survey.
+func TableI() []ChipSpec {
+	return []ChipSpec{
+		{Name: "NVSwitch", Category: "switching", Lanes: 128, DataRateGb: 100},
+		{Name: "Tofino2", Category: "switching", Lanes: 256, DataRateGb: 50},
+		{Name: "Rosetta", Category: "switching", Lanes: 256, DataRateGb: 50},
+		{Name: "H100", Category: "computing", Lanes: 36, DataRateGb: 100},
+		{Name: "EPYC", Category: "computing", Lanes: 128, DataRateGb: 32},
+		{Name: "DOJO D1", Category: "computing", Lanes: 576, DataRateGb: 112},
+	}
+}
+
+// Row is one line of Table III.
+type Row struct {
+	Name       string
+	ChipRadix  int
+	SWRadix    int // 0 = switch-less
+	Switches   int
+	Cabinets   int
+	Processors int
+	// Cables is the total cable count; InterCabinetCables the subset leaving
+	// a cabinet (what drives total cable length).
+	Cables             int
+	InterCabinetCables int
+	TLocal             float64
+	TGlobal            float64
+	// Diameter as a human-readable hop expression.
+	Diameter string
+}
+
+// CableLengthE returns the estimated total inter-cabinet cable length in
+// units of E (mean cabinet-to-cabinet run in the flat layout).
+func (r Row) CableLengthE() float64 { return float64(r.InterCabinetCables) }
+
+const (
+	swRadix          = 64
+	nodesPerCabinet  = 128 // 64 blades × 2 nodes
+	torPerCabinet    = 8
+	coreSwPerCabinet = 32
+	boardsPerCabinet = 16 // Hx4Mesh
+	pkgsPerCabinet   = 8  // PolarFly co-packages
+	wafersPerCabinet = 8  // switch-less Dragonfly
+)
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// FatTree returns the three-stage fat-tree row for `planes` parallel planes
+// and an optional taper (downlinks:uplinks at the edge, 1 = no taper).
+func FatTree(planes int, taper int) Row {
+	k := swRadix
+	var hosts, switchesPerPlane, edgePerPlane int
+	if taper == 1 {
+		hosts = k * k * k / 4            // 65536
+		switchesPerPlane = 5 * k * k / 4 // 5120
+		edgePerPlane = k * k / 2         // 2048 edge switches
+	} else {
+		// Tapered edge: 3:1 → 48 down / 16 up per edge switch.
+		down := k * taper / (taper + 1) // 48
+		up := k - down                  // 16
+		edgePerPlane = k * k / 2        // keep 2048 edge switches
+		hosts = edgePerPlane * down     // 98304
+		uplinks := edgePerPlane * up    // 32768
+		// Two-tier non-blocking Clos above the edge: agg uses half-radix
+		// down, core full radix.
+		agg := uplinks / (k / 2)
+		core := agg / 2
+		switchesPerPlane = edgePerPlane + agg + core // 2048+1024+512 = 3584
+	}
+	switches := switchesPerPlane * planes
+	// Cables per plane: hosts + edge-agg + agg-core (non-blocking), tapered
+	// proportionally above the edge.
+	var cablesPerPlane int
+	if taper == 1 {
+		cablesPerPlane = 3 * hosts
+	} else {
+		cablesPerPlane = hosts + 2*(edgePerPlane*(k-k*taper/(taper+1)))
+	}
+	computeCab := ceilDiv(hosts, nodesPerCabinet)
+	// Edge switches ride top-of-rack; aggregation+core switches live in
+	// switch cabinets, 32 per cabinet.
+	nonTor := (switchesPerPlane - edgePerPlane) * planes
+	cabinets := computeCab + ceilDiv(nonTor, coreSwPerCabinet)
+	name := fmt.Sprintf("Three-Stage Fat-Tree ×%d", planes)
+	tg := float64(planes)
+	if taper != 1 {
+		name = fmt.Sprintf("Three-Stage F-T ×%d (%d:1 Taper)", planes, taper)
+		tg = float64(planes) / float64(taper)
+	}
+	return Row{
+		Name: name, ChipRadix: planes, SWRadix: k,
+		Switches: switches, Cabinets: cabinets, Processors: hosts,
+		Cables:             cablesPerPlane * planes,
+		InterCabinetCables: cablesPerPlane*planes - hosts*planes, // host links stay in-rack
+		TLocal:             float64(planes),
+		TGlobal:            tg,
+		Diameter:           "2Hg + 2Hl + 2H*l",
+	}
+}
+
+// HammingMesh returns the Hx4Mesh row (HammingMesh with 4×4 boards) for the
+// given number of planes.
+func HammingMesh(planes int) Row {
+	ft := FatTree(planes, 1)
+	boards := ft.Processors / 16
+	cabinets := ceilDiv(boards, boardsPerCabinet) +
+		ceilDiv((5*swRadix*swRadix/4-swRadix*swRadix/2)*planes, coreSwPerCabinet)
+	return Row{
+		Name: fmt.Sprintf("%d-Plane Hx4Mesh", planes), ChipRadix: 4 * planes,
+		SWRadix: swRadix, Switches: ft.Switches, Cabinets: cabinets,
+		Processors:         ft.Processors,
+		Cables:             ft.Cables,
+		InterCabinetCables: ft.InterCabinetCables,
+		TLocal:             2 * float64(planes),
+		TGlobal:            0.5 * float64(planes),
+		Diameter:           "2Hg + 2Hl + 2H*l + 4Hsr",
+	}
+}
+
+// PolarFly returns the co-packaged PolarFly row for Erdős–Rényi parameter
+// q=63 (radix-64 routers) with p processors per package.
+func PolarFly(p int) Row {
+	q := 63
+	routers := q*q + q + 1 // 4033
+	procs := routers * p
+	netLinks := routers * (q + 1) / 2
+	return Row{
+		Name: fmt.Sprintf("Co-Packaged PolarFly (p=%d)", p), ChipRadix: 1,
+		SWRadix: swRadix, Switches: routers,
+		Cabinets:   ceilDiv(routers, pkgsPerCabinet),
+		Processors: procs,
+		// Terminal links are in-package (no cables): only network links count.
+		Cables:             netLinks,
+		InterCabinetCables: netLinks,
+		TLocal:             1, TGlobal: 1,
+		Diameter: "2Hg + 2Hsr",
+	}
+}
+
+// Slingshot returns the switch-based Dragonfly row at maximum radix-64
+// scale: 16 terminals, 31 local, 17 global per switch; 32 switches per
+// group; 545 groups.
+func Slingshot() Row {
+	const (
+		t = 16
+		a = 32
+		h = 17
+	)
+	g := a*h + 1 // 545
+	switches := a * g
+	procs := t * switches
+	localCables := g * a * (a - 1) / 2
+	globalCables := g * (g - 1) / 2
+	termCables := procs
+	// One group (32 switches, 512 nodes) occupies 4 compute cabinets with
+	// its ToR switches; locals between those cabinets are inter-cabinet.
+	cabinets := ceilDiv(procs, nodesPerCabinet)
+	interLocal := localCables * 3 / 4 // links leaving their source cabinet
+	return Row{
+		Name: "Dragonfly (Slingshot)", ChipRadix: 1, SWRadix: swRadix,
+		Switches: switches, Cabinets: cabinets, Processors: procs,
+		Cables:             localCables + globalCables + termCables,
+		InterCabinetCables: globalCables + interLocal,
+		TLocal:             1, TGlobal: 1,
+		Diameter: "Hg + 2Hl + 2H*l",
+	}
+}
+
+// SwitchlessDragonfly returns the paper's wafer-based row at the same scale
+// as Slingshot: n=12, m=4 chiplets (k=48 ports: 31 local + 17 global),
+// ab=32 C-groups per W-group, 545 W-groups, 279040 chiplets.
+func SwitchlessDragonfly() Row {
+	const (
+		m  = 4
+		n  = 12
+		ab = 32
+		h  = 17
+	)
+	g := ab*h + 1 // 545
+	procs := ab * m * m * g
+	localCables := g * ab * (ab - 1) / 2
+	globalCables := g * (g - 1) / 2
+	// One W-group (8 wafers) per cabinet: every local cable stays inside
+	// its cabinet; only global cables cross cabinets.
+	cabinets := g
+	return Row{
+		Name: "Switch-less Dragonfly", ChipRadix: n, SWRadix: 0,
+		Switches: 0, Cabinets: cabinets, Processors: procs,
+		Cables:             localCables + globalCables,
+		InterCabinetCables: globalCables,
+		TLocal:             3, // intra-C-group (Eq. 5); intra-W-group is 2 (Eq. 4)
+		TGlobal:            1,
+		Diameter:           "Hg + 2Hl + 30Hsr",
+	}
+}
+
+// Dojo returns the 2D-mesh-of-wafers + central switch row (Sec. II-A2),
+// reported mostly from the paper's DOJO citations.
+func Dojo() Row {
+	return Row{
+		Name: "2D-Mesh & Switch (DOJO)", ChipRadix: 8, SWRadix: 60,
+		Switches: 1, Cabinets: 2, Processors: 450,
+		TLocal: 1.6, TGlobal: 0.53,
+		Diameter: "2H*l + 18Hsr",
+	}
+}
+
+// TableIII returns all rows of the comparison in paper order.
+func TableIII() []Row {
+	return []Row{
+		Dojo(),
+		FatTree(1, 1),
+		FatTree(4, 1),
+		FatTree(4, 3),
+		HammingMesh(1),
+		HammingMesh(4),
+		PolarFly(32),
+		Slingshot(),
+		SwitchlessDragonfly(),
+	}
+}

@@ -1,0 +1,190 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableIThroughputs(t *testing.T) {
+	// Paper Table I throughput row: NVSwitch 12.8, Tofino2 12.8, Rosetta
+	// 12.8, H100 3.6, EPYC ~4, DOJO D1 ~63 Tb/s.
+	want := map[string]float64{
+		"NVSwitch": 12.8, "Tofino2": 12.8, "Rosetta": 12.8,
+		"H100": 3.6, "EPYC": 4.096, "DOJO D1": 64.512,
+	}
+	for _, c := range TableI() {
+		if math.Abs(c.ThroughputTb()-want[c.Name]) > 0.001 {
+			t.Fatalf("%s throughput %v, want %v", c.Name, c.ThroughputTb(), want[c.Name])
+		}
+	}
+}
+
+func TestTableIComputingMatchesSwitching(t *testing.T) {
+	// The paper's point: high-end computing chips match or exceed switch
+	// silicon in IO throughput.
+	var maxSwitch, maxCompute float64
+	for _, c := range TableI() {
+		if c.Category == "switching" && c.ThroughputTb() > maxSwitch {
+			maxSwitch = c.ThroughputTb()
+		}
+		if c.Category == "computing" && c.ThroughputTb() > maxCompute {
+			maxCompute = c.ThroughputTb()
+		}
+	}
+	if maxCompute < maxSwitch {
+		t.Fatalf("computing max %v < switching max %v", maxCompute, maxSwitch)
+	}
+}
+
+func TestFatTreeSinglePlane(t *testing.T) {
+	r := FatTree(1, 1)
+	if r.Switches != 5120 {
+		t.Fatalf("switches %d, want 5120", r.Switches)
+	}
+	if r.Cabinets != 608 {
+		t.Fatalf("cabinets %d, want 608", r.Cabinets)
+	}
+	if r.Processors != 65536 {
+		t.Fatalf("processors %d, want 65536", r.Processors)
+	}
+	if r.Cables != 196608 { // ≈197K in the paper
+		t.Fatalf("cables %d, want 196608", r.Cables)
+	}
+}
+
+func TestFatTreeFourPlane(t *testing.T) {
+	r := FatTree(4, 1)
+	if r.Switches != 20480 || r.Cabinets != 896 || r.Processors != 65536 {
+		t.Fatalf("4-plane FT: %+v", r)
+	}
+	if r.Cables != 786432 { // ≈786K
+		t.Fatalf("cables %d, want 786432", r.Cables)
+	}
+	if r.TLocal != 4 || r.TGlobal != 4 {
+		t.Fatalf("throughputs %v/%v, want 4/4", r.TLocal, r.TGlobal)
+	}
+}
+
+func TestFatTreeTapered(t *testing.T) {
+	r := FatTree(4, 3)
+	if r.Switches != 14336 {
+		t.Fatalf("switches %d, want 14336", r.Switches)
+	}
+	if r.Cabinets != 960 {
+		t.Fatalf("cabinets %d, want 960", r.Cabinets)
+	}
+	if r.Processors != 98304 {
+		t.Fatalf("processors %d, want 98304", r.Processors)
+	}
+	if r.Cables != 655360 { // ≈655K
+		t.Fatalf("cables %d, want 655360", r.Cables)
+	}
+	if math.Abs(r.TGlobal-4.0/3) > 1e-9 {
+		t.Fatalf("tapered Tglobal %v, want 4/3", r.TGlobal)
+	}
+}
+
+func TestHammingMeshRows(t *testing.T) {
+	h1 := HammingMesh(1)
+	if h1.Cabinets != 352 || h1.Switches != 5120 || h1.Processors != 65536 {
+		t.Fatalf("Hx4Mesh 1-plane: %+v", h1)
+	}
+	if h1.TLocal != 2 || h1.TGlobal != 0.5 {
+		t.Fatalf("Hx4Mesh throughput %v/%v", h1.TLocal, h1.TGlobal)
+	}
+	h4 := HammingMesh(4)
+	if h4.Cabinets != 640 || h4.Switches != 20480 || h4.ChipRadix != 16 {
+		t.Fatalf("Hx4Mesh 4-plane: %+v", h4)
+	}
+	if h4.TLocal != 8 || h4.TGlobal != 2 {
+		t.Fatalf("Hx4Mesh-4 throughput %v/%v", h4.TLocal, h4.TGlobal)
+	}
+}
+
+func TestPolarFlyRow(t *testing.T) {
+	r := PolarFly(32)
+	if r.Switches != 4033 {
+		t.Fatalf("PolarFly routers %d, want 4033", r.Switches)
+	}
+	if r.Processors != 129056 {
+		t.Fatalf("PolarFly processors %d, want 129056", r.Processors)
+	}
+	// Paper rounds cabinets to 504; ceil(4033/8) = 505.
+	if r.Cabinets < 504 || r.Cabinets > 505 {
+		t.Fatalf("PolarFly cabinets %d, want 504±1", r.Cabinets)
+	}
+	if r.Cables != 129056 { // ≈129K
+		t.Fatalf("PolarFly cables %d, want 129056", r.Cables)
+	}
+}
+
+func TestSlingshotRow(t *testing.T) {
+	r := Slingshot()
+	if r.Switches != 17440 {
+		t.Fatalf("switches %d, want 17440", r.Switches)
+	}
+	if r.Processors != 279040 {
+		t.Fatalf("processors %d, want 279040", r.Processors)
+	}
+	if r.Cabinets != 2180 {
+		t.Fatalf("cabinets %d, want 2180", r.Cabinets)
+	}
+	if r.Cables != 697600 { // ≈698K
+		t.Fatalf("cables %d, want 697600", r.Cables)
+	}
+}
+
+func TestSwitchlessDragonflyRow(t *testing.T) {
+	r := SwitchlessDragonfly()
+	if r.Switches != 0 || r.SWRadix != 0 {
+		t.Fatal("switch-less row must have no switches")
+	}
+	if r.Processors != 279040 {
+		t.Fatalf("processors %d, want 279040", r.Processors)
+	}
+	if r.Cabinets != 545 {
+		t.Fatalf("cabinets %d, want 545", r.Cabinets)
+	}
+	if r.Cables != 418560 { // ≈419K
+		t.Fatalf("cables %d, want 418560", r.Cables)
+	}
+}
+
+func TestSwitchlessBeatsSlingshot(t *testing.T) {
+	// The paper's headline cost claims at equal scale (279040 processors):
+	// 4× fewer cabinets, zero switches, and less than half the inter-cabinet
+	// cable length.
+	sl := Slingshot()
+	sw := SwitchlessDragonfly()
+	if sw.Processors != sl.Processors {
+		t.Fatal("rows must compare equal scale")
+	}
+	if sl.Cabinets < 4*sw.Cabinets {
+		t.Fatalf("cabinet reduction %d→%d below 4×", sl.Cabinets, sw.Cabinets)
+	}
+	ratio := sw.CableLengthE() / sl.CableLengthE()
+	if ratio >= 0.5 {
+		t.Fatalf("cable length ratio %v, want < 0.5 (paper: 73K/154K)", ratio)
+	}
+	if sw.TLocal <= sl.TLocal || sw.TGlobal < sl.TGlobal {
+		t.Fatalf("throughput regression: %v/%v vs %v/%v",
+			sw.TLocal, sw.TGlobal, sl.TLocal, sl.TGlobal)
+	}
+}
+
+func TestTableIIIComplete(t *testing.T) {
+	rows := TableIII()
+	if len(rows) != 9 {
+		t.Fatalf("Table III rows = %d, want 9", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if r.Name == "" || seen[r.Name] {
+			t.Fatalf("bad/duplicate row %q", r.Name)
+		}
+		seen[r.Name] = true
+		if r.Processors <= 0 {
+			t.Fatalf("row %q has no processors", r.Name)
+		}
+	}
+}

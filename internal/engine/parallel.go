@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a barrier-style parallel executor. It owns a fixed set of worker
+// goroutines and runs "phases": a phase applies a function to every shard
+// index in [0, shards) and returns only after all shards completed.
+//
+// The simulator uses one shard per worker and partitions routers statically
+// across shards, so a phase touches each router exactly once. Because Run
+// is a full barrier, two consecutive phases never overlap, which is what
+// makes the single-producer/single-consumer link queues safe without locks.
+//
+// A Pool with Workers <= 1 degrades to a plain loop with zero goroutine
+// overhead, which matters for the many small simulations in the test suite.
+type Pool struct {
+	workers int
+	tasks   chan task
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+type task struct {
+	fn    func(shard int)
+	shard int
+	done  *sync.WaitGroup
+}
+
+// NewPool creates a pool with the given number of workers.
+// workers <= 0 selects GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		p.tasks = make(chan task, workers)
+		for i := 0; i < workers; i++ {
+			go p.worker()
+		}
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	for t := range p.tasks {
+		t.fn(t.shard)
+		t.done.Done()
+	}
+}
+
+// Workers returns the degree of parallelism of the pool.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes fn(shard) for every shard in [0, shards) and blocks until all
+// have finished. fn must not call Run on the same pool (no nesting).
+func (p *Pool) Run(shards int, fn func(shard int)) {
+	if p.workers <= 1 || shards <= 1 {
+		for s := 0; s < shards; s++ {
+			fn(s)
+		}
+		return
+	}
+	var done sync.WaitGroup
+	done.Add(shards)
+	for s := 0; s < shards; s++ {
+		p.tasks <- task{fn: fn, shard: s, done: &done}
+	}
+	done.Wait()
+}
+
+// Close shuts the worker goroutines down. The pool must not be used after
+// Close. Closing a serial pool is a no-op.
+func (p *Pool) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	if p.tasks != nil {
+		close(p.tasks)
+	}
+}
+
+// ShardBounds splits n items into `shards` contiguous ranges and returns the
+// half-open range [lo, hi) for the given shard. Ranges differ in size by at
+// most one item.
+func ShardBounds(n, shards, shard int) (lo, hi int) {
+	if shards <= 0 {
+		return 0, n
+	}
+	base := n / shards
+	rem := n % shards
+	lo = shard*base + min(shard, rem)
+	size := base
+	if shard < rem {
+		size++
+	}
+	return lo, lo + size
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolRunsAllShards(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := NewPool(workers)
+		var count int64
+		hit := make([]int32, 100)
+		p.Run(len(hit), func(s int) {
+			atomic.AddInt64(&count, 1)
+			atomic.AddInt32(&hit[s], 1)
+		})
+		if count != int64(len(hit)) {
+			t.Fatalf("workers=%d: ran %d shards, want %d", workers, count, len(hit))
+		}
+		for s, h := range hit {
+			if h != 1 {
+				t.Fatalf("workers=%d: shard %d ran %d times", workers, s, h)
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestPoolBarrier(t *testing.T) {
+	// A phase must be fully complete before Run returns: the second phase
+	// observes every write of the first.
+	p := NewPool(4)
+	defer p.Close()
+	buf := make([]int, 64)
+	for round := 0; round < 50; round++ {
+		p.Run(len(buf), func(s int) { buf[s] = round + 1 })
+		p.Run(len(buf), func(s int) {
+			if buf[s] != round+1 {
+				t.Errorf("round %d shard %d: saw stale value %d", round, s, buf[s])
+			}
+		})
+	}
+}
+
+func TestPoolZeroShards(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	p.Run(0, func(int) { t.Fatal("shard function called for 0 shards") })
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close() // must not panic
+}
+
+func TestPoolSerialFallback(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	order := make([]int, 0, 10)
+	p.Run(10, func(s int) { order = append(order, s) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial pool ran out of order: %v", order)
+		}
+	}
+}
+
+func TestShardBoundsCoverAndDisjoint(t *testing.T) {
+	f := func(nRaw, shardsRaw uint16) bool {
+		n := int(nRaw % 5000)
+		shards := int(shardsRaw%32) + 1
+		prevHi := 0
+		for s := 0; s < shards; s++ {
+			lo, hi := ShardBounds(n, shards, s)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			prevHi = hi
+		}
+		return prevHi == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardBoundsBalanced(t *testing.T) {
+	const n, shards = 103, 10
+	minSize, maxSize := n, 0
+	for s := 0; s < shards; s++ {
+		lo, hi := ShardBounds(n, shards, s)
+		size := hi - lo
+		if size < minSize {
+			minSize = size
+		}
+		if size > maxSize {
+			maxSize = size
+		}
+	}
+	if maxSize-minSize > 1 {
+		t.Fatalf("imbalanced shards: min %d max %d", minSize, maxSize)
+	}
+}

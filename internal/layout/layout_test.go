@@ -1,0 +1,97 @@
+package layout
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperPlanNumbers(t *testing.T) {
+	r, err := PaperPlan().Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Chiplets != 16 {
+		t.Fatalf("chiplets %d, want 16", r.Chiplets)
+	}
+	if r.ExternalPorts != 96 {
+		t.Fatalf("external ports %d, want 96", r.ExternalPorts)
+	}
+	// "128 lanes of UCIe ... achieving 4096 Gb/s/port".
+	if math.Abs(r.OnWaferPortGbps-4096) > 1e-9 {
+		t.Fatalf("on-wafer port %v Gb/s, want 4096", r.OnWaferPortGbps)
+	}
+	// "8 lanes of 112G SerDes ... 896 Gb/s/port".
+	if math.Abs(r.OffWaferPortGbps-896) > 1e-9 {
+		t.Fatalf("off-wafer port %v Gb/s, want 896", r.OffWaferPortGbps)
+	}
+	// "a C-group ... leads out 1536 pairs of differential ports".
+	if r.DiffPairs != 1536 {
+		t.Fatalf("diff pairs %d, want 1536", r.DiffPairs)
+	}
+	// "~5500 IOs including the power and ground".
+	if r.TotalIOs < 5000 || r.TotalIOs > 6000 {
+		t.Fatalf("total IOs %d, want ≈5500", r.TotalIOs)
+	}
+	// "total bisection ... 12TB/s": 24 channels × 4096 Gb/s = 12.29 TB/s.
+	if math.Abs(r.BisectionTBs-12.288) > 0.01 {
+		t.Fatalf("bisection %v TB/s, want 12.29", r.BisectionTBs)
+	}
+	// "aggregation bandwidth ... 20.9TB/s": 96 ports × 896 Gb/s × 2 dirs =
+	// 21.5 TB/s; the paper reports 20.9 (≈3% derating). Accept ±15%.
+	if r.AggregateTBs < 20.9*0.85 || r.AggregateTBs > 20.9*1.15 {
+		t.Fatalf("aggregate %v TB/s, want ≈20.9", r.AggregateTBs)
+	}
+}
+
+func TestPaperPlanFeasible(t *testing.T) {
+	r, err := PaperPlan().Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible() {
+		t.Fatalf("paper plan infeasible: %+v", r)
+	}
+	// Silicon fits in the 60×60 mm C-group with headroom for routing.
+	if r.AreaUtilization > 0.9 {
+		t.Fatalf("area utilization %v too high", r.AreaUtilization)
+	}
+	// Four C-groups per wafer (Sec. III-E).
+	if r.CGroupsPerWafer < 4 {
+		t.Fatalf("C-groups per wafer %d, want >= 4", r.CGroupsPerWafer)
+	}
+	// "the total number of IO channels for a wafer is 192".
+	if r.WaferIOChannels != 192 {
+		t.Fatalf("wafer IO channels %d, want 192", r.WaferIOChannels)
+	}
+}
+
+func TestBandwidthExceedsSwitches(t *testing.T) {
+	// "much larger than the highest-end switches" (12.8 Tb/s = 1.6 TB/s).
+	r, _ := PaperPlan().Analyze()
+	const rosettaTBs = 12.8 / 8
+	if r.BisectionTBs < 4*rosettaTBs {
+		t.Fatalf("bisection %v TB/s not clearly above switch silicon", r.BisectionTBs)
+	}
+}
+
+func TestAnalyzeRejectsInvalid(t *testing.T) {
+	p := PaperPlan()
+	p.MeshDim = 0
+	if _, err := p.Analyze(); err == nil {
+		t.Fatal("invalid plan must be rejected")
+	}
+}
+
+func TestScalingChannels(t *testing.T) {
+	// Doubling per-edge channels doubles bisection and external ports.
+	p := PaperPlan()
+	base, _ := p.Analyze()
+	p.ChannelsPerEdge *= 2
+	dbl, _ := p.Analyze()
+	if math.Abs(dbl.BisectionTBs-2*base.BisectionTBs) > 1e-9 {
+		t.Fatal("bisection must scale linearly with channels")
+	}
+	if dbl.ExternalPorts != 2*base.ExternalPorts {
+		t.Fatal("ports must scale linearly with channels")
+	}
+}

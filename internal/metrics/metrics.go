@@ -1,0 +1,148 @@
+// Package metrics defines the result containers for injection-rate sweeps
+// and their rendering as CSV or aligned text — the data behind every
+// latency-vs-load figure in the paper.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Point is one measured load point of a sweep.
+type Point struct {
+	Rate       float64 // offered load, flits/cycle/chip
+	Latency    float64 // mean packet latency, cycles
+	P50        float64
+	P99        float64
+	Throughput float64 // accepted load, flits/cycle/chip
+}
+
+// Series is one curve: a labelled sequence of load points.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Saturation estimates the saturation injection rate: the highest offered
+// rate whose mean latency stays below latencyFactor × the zero-load
+// (first-point) latency. A pure latency-knee criterion is used because
+// accepted throughput is normalized per chip while permutation patterns may
+// leave self-mapped chips silent. It returns 0 for an empty series.
+func (s Series) Saturation(latencyFactor float64) float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	zero := s.Points[0].Latency
+	if zero <= 0 {
+		zero = 1
+	}
+	sat := 0.0
+	for _, p := range s.Points {
+		if p.Latency <= latencyFactor*zero && p.Rate > sat {
+			sat = p.Rate
+		}
+	}
+	return sat
+}
+
+// MaxThroughput returns the highest accepted throughput in the series.
+func (s Series) MaxThroughput() float64 {
+	m := 0.0
+	for _, p := range s.Points {
+		if p.Throughput > m {
+			m = p.Throughput
+		}
+	}
+	return m
+}
+
+// Figure is a named set of curves, matching one sub-figure of the paper.
+type Figure struct {
+	Name   string // e.g. "fig10a"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// CSV renders the figure as rate-indexed CSV with one latency and one
+// throughput column per series.
+func (f Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("rate")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, ",%s_latency,%s_throughput", s.Label, s.Label)
+	}
+	b.WriteByte('\n')
+	// Collect the union of rates.
+	rateSet := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			rateSet[p.Rate] = true
+		}
+	}
+	rates := make([]float64, 0, len(rateSet))
+	for r := range rateSet {
+		rates = append(rates, r)
+	}
+	sort.Float64s(rates)
+	for _, r := range rates {
+		fmt.Fprintf(&b, "%.4f", r)
+		for _, s := range f.Series {
+			found := false
+			for _, p := range s.Points {
+				if p.Rate == r {
+					fmt.Fprintf(&b, ",%.3f,%.4f", p.Latency, p.Throughput)
+					found = true
+					break
+				}
+			}
+			if !found {
+				b.WriteString(",,")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table renders the figure as aligned text for terminal output.
+func (f Figure) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.Name, f.Title)
+	fmt.Fprintf(&b, "%-10s", "rate")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%22s", s.Label)
+	}
+	b.WriteByte('\n')
+	maxLen := 0
+	for _, s := range f.Series {
+		if len(s.Points) > maxLen {
+			maxLen = len(s.Points)
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		rate := -1.0
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				rate = s.Points[i].Rate
+				break
+			}
+		}
+		fmt.Fprintf(&b, "%-10.3f", rate)
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				fmt.Fprintf(&b, "%14.1f cycles", s.Points[i].Latency)
+			} else {
+				fmt.Fprintf(&b, "%22s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  saturation(%s) ≈ %.2f flits/cycle/chip\n",
+			s.Label, s.Saturation(3))
+	}
+	return b.String()
+}

@@ -1,0 +1,222 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"sldf/internal/engine"
+)
+
+// LinkSpec describes the physical and flow-control properties of a channel.
+type LinkSpec struct {
+	Delay int32 // wire latency in cycles
+	Width int32 // bandwidth in flits/cycle
+	Class HopClass
+	VCs   uint8 // virtual channels on the downstream input port
+	// BufFlits is the buffer depth per VC in flits (paper Table IV: 32).
+	BufFlits int32
+}
+
+// Builder incrementally constructs a Network. Topology packages call
+// AddRouter/Connect and then Finalize. Builders are single-use.
+type Builder struct {
+	routers []Router
+	links   []*Link
+	err     error
+}
+
+// NewBuilder returns an empty network builder.
+func NewBuilder() *Builder {
+	return &Builder{}
+}
+
+// AddRouter appends a router of the given kind and returns its ID.
+// Metadata (coordinates, chip, label) is set through Router().
+func (b *Builder) AddRouter(kind RouterKind) NodeID {
+	id := NodeID(len(b.routers))
+	b.routers = append(b.routers, Router{
+		ID:       id,
+		Kind:     kind,
+		CGroup:   -1,
+		WGroup:   -1,
+		Chip:     -1,
+		Label:    -1,
+		InjIn:    -1,
+		EjectOut: -1,
+	})
+	return id
+}
+
+// Router returns a pointer to the router under construction. The pointer is
+// valid until the next AddRouter call.
+func (b *Builder) Router(id NodeID) *Router { return &b.routers[id] }
+
+// NumRouters returns the number of routers added so far.
+func (b *Builder) NumRouters() int { return len(b.routers) }
+
+// Connect creates a unidirectional link src→dst and returns the output port
+// index on src and the input port index on dst.
+func (b *Builder) Connect(src, dst NodeID, spec LinkSpec) (outPort, inPort int) {
+	if spec.Delay < 1 {
+		b.fail("link %d→%d: delay must be >= 1 (got %d)", src, dst, spec.Delay)
+		spec.Delay = 1
+	}
+	if spec.Width < 1 || spec.VCs < 1 || spec.BufFlits < 1 {
+		b.fail("link %d→%d: invalid spec %+v", src, dst, spec)
+		return 0, 0
+	}
+	if spec.VCs > 8 {
+		// The per-port occupancy bitmask is 8 bits wide; no evaluated
+		// scheme needs more than 6 VCs.
+		b.fail("link %d→%d: at most 8 VCs supported (got %d)", src, dst, spec.VCs)
+		return 0, 0
+	}
+	l := &Link{
+		ID:    int32(len(b.links)),
+		Src:   src,
+		Dst:   dst,
+		Delay: spec.Delay,
+		Width: spec.Width,
+		Class: spec.Class,
+		VCs:   spec.VCs,
+	}
+	b.links = append(b.links, l)
+
+	sr := &b.routers[src]
+	credits := make([]int32, spec.VCs)
+	for i := range credits {
+		credits[i] = spec.BufFlits
+	}
+	sr.Out = append(sr.Out, OutPort{Link: l, Credits: credits})
+	outPort = len(sr.Out) - 1
+
+	dr := &b.routers[dst]
+	dr.In = append(dr.In, InPort{Link: l, VCs: make([]vcQueue, spec.VCs)})
+	inPort = len(dr.In) - 1
+	l.SrcPort = int16(outPort)
+	l.DstPort = int16(inPort)
+	return outPort, inPort
+}
+
+// ConnectBidi creates a pair of opposite links between a and b with the same
+// spec, returning (a's out port, b's out port).
+func (b *Builder) ConnectBidi(x, y NodeID, spec LinkSpec) (xOut, yOut int) {
+	xOut, _ = b.Connect(x, y, spec)
+	yOut, _ = b.Connect(y, x, spec)
+	return xOut, yOut
+}
+
+// AddTerminal marks router id as the injection/ejection point for chip,
+// with nodeIdx as its local index within the chip. It creates the injection
+// and ejection pseudo-ports.
+func (b *Builder) AddTerminal(id NodeID, chip int32, nodeIdx int32) {
+	r := &b.routers[id]
+	if r.InjIn >= 0 || r.EjectOut >= 0 {
+		b.fail("router %d: terminal added twice", id)
+		return
+	}
+	r.Chip = chip
+	r.Local = nodeIdx
+	r.In = append(r.In, InPort{Link: nil, VCs: make([]vcQueue, 1)})
+	r.InjIn = int16(len(r.In) - 1)
+	r.Out = append(r.Out, OutPort{Link: nil})
+	r.EjectOut = int16(len(r.Out) - 1)
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Err returns the first construction error, if any.
+func (b *Builder) Err() error { return b.err }
+
+// Finalize validates the graph and produces a runnable Network.
+func (b *Builder) Finalize(opts NetworkOptions) (*Network, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.routers) == 0 {
+		return nil, fmt.Errorf("netsim: empty network")
+	}
+
+	// Collect chips: group terminal routers by chip ID.
+	chipMap := map[int32][]NodeID{}
+	maxChip := int32(-1)
+	for i := range b.routers {
+		r := &b.routers[i]
+		if r.Chip >= 0 && r.InjIn >= 0 {
+			chipMap[r.Chip] = append(chipMap[r.Chip], r.ID)
+			if r.Chip > maxChip {
+				maxChip = r.Chip
+			}
+		}
+	}
+	chips := make([][]NodeID, maxChip+1)
+	for c := int32(0); c <= maxChip; c++ {
+		nodes := chipMap[c]
+		if len(nodes) == 0 {
+			return nil, fmt.Errorf("netsim: chip %d has no terminal routers", c)
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		chips[c] = nodes
+		// Local index must match position for DstSameIndex to be meaningful.
+		for idx, id := range nodes {
+			b.routers[id].Local = int32(idx)
+		}
+	}
+
+	workers := opts.Workers
+	pool := opts.Pool
+	owned := false
+	if pool == nil {
+		pool = engine.NewPool(workers)
+		owned = true
+	}
+	shards := pool.Workers()
+	if shards < 1 {
+		shards = 1
+	}
+	wd := opts.WatchdogCycles
+	if wd <= 0 {
+		wd = 10000
+	}
+
+	n := &Network{
+		Routers:       b.routers,
+		Links:         b.links,
+		ChipNodes:     chips,
+		pool:          pool,
+		ownedPool:     owned,
+		shards:        shards,
+		shard:         make([]shardStats, shards),
+		seed:          opts.Seed,
+		packetSize:    4,
+		watchdogLimit: wd,
+	}
+	for i := range n.Routers {
+		n.Routers[i].RNG = engine.NewRNGStream(opts.Seed, uint64(i))
+	}
+	// Partition links by consumer shard for the phase-A drain.
+	shardOf := func(router NodeID) int {
+		for s := 0; s < shards; s++ {
+			lo, hi := engine.ShardBounds(len(n.Routers), shards, s)
+			if int(router) >= lo && int(router) < hi {
+				return s
+			}
+		}
+		return 0
+	}
+	n.dataLinks = make([][]*Link, shards)
+	n.creditLinks = make([][]*Link, shards)
+	for _, l := range n.Links {
+		ds := shardOf(l.Dst)
+		n.dataLinks[ds] = append(n.dataLinks[ds], l)
+		cs := shardOf(l.Src)
+		n.creditLinks[cs] = append(n.creditLinks[cs], l)
+	}
+	b.routers = nil
+	b.links = nil
+	return n, nil
+}

@@ -1,0 +1,135 @@
+package netsim
+
+// timedPacket is a packet in flight on a link, ready for delivery at `at`.
+type timedPacket struct {
+	p  *Packet
+	at int64
+}
+
+// timedCredit is a credit message returning buffer space to the upstream
+// router: `flits` flits freed on virtual channel `vc`, visible at `at`.
+type timedCredit struct {
+	at    int64
+	flits int32
+	vc    uint8
+}
+
+// packetFIFO is a growable ring buffer of timed packets with one producer
+// and one consumer per simulation phase (guaranteed by the two-phase cycle).
+type packetFIFO struct {
+	buf  []timedPacket
+	head int
+	n    int
+}
+
+func (f *packetFIFO) push(p *Packet, at int64) {
+	if f.n == len(f.buf) {
+		f.grow()
+	}
+	f.buf[(f.head+f.n)&(len(f.buf)-1)] = timedPacket{p: p, at: at}
+	f.n++
+}
+
+func (f *packetFIFO) grow() {
+	size := len(f.buf) * 2
+	if size == 0 {
+		size = 8
+	}
+	nb := make([]timedPacket, size)
+	for i := 0; i < f.n; i++ {
+		nb[i] = f.buf[(f.head+i)&(len(f.buf)-1)]
+	}
+	f.buf = nb
+	f.head = 0
+}
+
+// popReady removes and returns the front packet if it is deliverable at
+// cycle `now`; ok reports whether a packet was returned.
+func (f *packetFIFO) popReady(now int64) (tp timedPacket, ok bool) {
+	if f.n == 0 {
+		return timedPacket{}, false
+	}
+	front := &f.buf[f.head]
+	if front.at > now {
+		return timedPacket{}, false
+	}
+	tp = *front
+	front.p = nil
+	f.head = (f.head + 1) & (len(f.buf) - 1)
+	f.n--
+	return tp, true
+}
+
+func (f *packetFIFO) len() int { return f.n }
+
+// creditFIFO is the same ring-buffer structure for credit messages.
+type creditFIFO struct {
+	buf  []timedCredit
+	head int
+	n    int
+}
+
+func (f *creditFIFO) push(c timedCredit) {
+	if f.n == len(f.buf) {
+		size := len(f.buf) * 2
+		if size == 0 {
+			size = 8
+		}
+		nb := make([]timedCredit, size)
+		for i := 0; i < f.n; i++ {
+			nb[i] = f.buf[(f.head+i)&(len(f.buf)-1)]
+		}
+		f.buf = nb
+		f.head = 0
+	}
+	f.buf[(f.head+f.n)&(len(f.buf)-1)] = c
+	f.n++
+}
+
+func (f *creditFIFO) popReady(now int64) (c timedCredit, ok bool) {
+	if f.n == 0 {
+		return timedCredit{}, false
+	}
+	front := &f.buf[f.head]
+	if front.at > now {
+		return timedCredit{}, false
+	}
+	c = *front
+	f.head = (f.head + 1) & (len(f.buf) - 1)
+	f.n--
+	return c, true
+}
+
+// Link is a unidirectional physical channel between two router ports.
+// The data queue carries packets src→dst; the credit queue carries buffer
+// credits dst→src (both with the link's delay).
+type Link struct {
+	ID    int32
+	Src   NodeID // source router
+	Dst   NodeID // destination router
+	Delay int32  // cycles of wire latency
+	Width int32  // flits per cycle (bandwidth)
+	Class HopClass
+	VCs   uint8 // virtual channels on the downstream input port
+	// SrcPort/DstPort are the port indices on the endpoint routers.
+	SrcPort int16
+	DstPort int16
+
+	data   packetFIFO
+	credit creditFIFO
+
+	// winFlits counts flits launched onto the link during the measurement
+	// window (written only by the source router's shard).
+	winFlits int64
+}
+
+// WindowFlits returns the flits carried during the measurement window.
+func (l *Link) WindowFlits() int64 { return l.winFlits }
+
+// InFlight returns the number of packets currently traversing the link.
+func (l *Link) InFlight() int { return l.data.len() }
+
+// serCycles returns the serialization time of size flits on this link.
+func (l *Link) serCycles(size int32) int64 {
+	return int64((size + l.Width - 1) / l.Width)
+}

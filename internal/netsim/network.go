@@ -1,0 +1,334 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+
+	"sldf/internal/engine"
+)
+
+// RouteFunc computes the output port and next virtual channel for packet p
+// at router r. It is called when p is at the head of an input VC; the
+// decision is cached until the packet departs, so a RouteFunc may consult
+// dynamic state (credits, queue depths) to make adaptive choices.
+type RouteFunc func(net *Network, r *Router, p *Packet) (out int, vc uint8)
+
+// ErrDeadlock is returned by Run when the network stops making progress
+// while packets are still in flight.
+var ErrDeadlock = errors.New("netsim: no progress with packets in flight (routing deadlock?)")
+
+// Network is a complete simulated interconnection network.
+type Network struct {
+	Routers []Router
+	Links   []*Link
+
+	// ChipNodes[c] lists the injection-capable router IDs of chip c, in
+	// deterministic (ascending router ID) order.
+	ChipNodes [][]NodeID
+
+	Cycle int64
+
+	route      RouteFunc
+	gen        Generator
+	packetSize int32
+	dstPolicy  DstNodePolicy
+	seed       uint64
+
+	pool      *engine.Pool
+	ownedPool bool
+	shards    int
+	shard     []shardStats
+	// dataLinks[s] lists links whose destination router is in shard s;
+	// creditLinks[s] lists links whose source router is in shard s. Phase A
+	// iterates these flat lists instead of walking every router's ports.
+	dataLinks   [][]*Link
+	creditLinks [][]*Link
+
+	measuring     bool
+	measStart     int64
+	measEnd       int64
+	idleCycles    int64 // consecutive cycles with no packet movement
+	watchdogLimit int64
+
+	// preAllocate, when set, runs single-threaded between the drain and
+	// allocate phases of every cycle. Adaptive routing uses it to snapshot
+	// congestion state that route functions may then read without races.
+	preAllocate func(*Network)
+}
+
+// SetPreAllocate installs the per-cycle serial hook (may be nil).
+func (n *Network) SetPreAllocate(f func(*Network)) { n.preAllocate = f }
+
+// NetworkOptions configure simulation execution.
+type NetworkOptions struct {
+	// Seed is the master seed; every router and injector derives its own
+	// deterministic stream from it.
+	Seed uint64
+	// Workers is the number of parallel workers (0 = GOMAXPROCS).
+	Workers int
+	// Pool optionally supplies a shared executor; if nil a pool is created
+	// and owned by the network.
+	Pool *engine.Pool
+	// WatchdogCycles is the number of consecutive zero-progress cycles with
+	// in-flight packets after which Run returns ErrDeadlock (0 = 10000).
+	WatchdogCycles int64
+}
+
+// SetTraffic installs the traffic generator. packetSize is the packet length
+// in flits (paper Table IV default is 4).
+func (n *Network) SetTraffic(gen Generator, packetSize int32, policy DstNodePolicy) {
+	n.gen = gen
+	n.packetSize = packetSize
+	n.dstPolicy = policy
+}
+
+// SetRoute installs the routing function.
+func (n *Network) SetRoute(f RouteFunc) { n.route = f }
+
+// NumChips returns the number of terminal chips.
+func (n *Network) NumChips() int { return len(n.ChipNodes) }
+
+// Router returns the router with the given ID.
+func (n *Network) Router(id NodeID) *Router { return &n.Routers[id] }
+
+// StartMeasurement opens the measurement window at the current cycle.
+func (n *Network) StartMeasurement() {
+	n.measuring = true
+	n.measStart = n.Cycle
+	n.measEnd = 1 << 62
+}
+
+// StopMeasurement closes the measurement window at the current cycle.
+func (n *Network) StopMeasurement() {
+	n.measEnd = n.Cycle
+	n.measuring = false
+}
+
+func (n *Network) inWindow(cycle int64) bool {
+	return cycle >= n.measStart && cycle < n.measEnd
+}
+
+// deliver records an ejected packet; called from router allocation on the
+// given shard.
+func (n *Network) deliver(shard int, p *Packet) {
+	ss := &n.shard[shard]
+	ss.deliveredPkts++
+	if n.measStart != 0 || n.measuring || n.measEnd != 0 {
+		if n.inWindow(p.DeliveredAt) {
+			ss.winFlits += int64(p.Size)
+		}
+		if p.CreatedAt >= n.measStart && p.CreatedAt < n.measEnd {
+			ss.winPkts++
+			lat := p.DeliveredAt - p.CreatedAt
+			ss.lat.Add(lat)
+			ss.winNetLatSum += p.DeliveredAt - p.InjectedAt
+			for c := 0; c < int(NumHopClasses); c++ {
+				ss.winHops[c] += int64(p.Hops[c])
+			}
+		}
+	}
+	ss.free.put(p)
+}
+
+// generate creates this cycle's new packets for every injection node of the
+// routers in [lo, hi).
+func (n *Network) generate(shard, lo, hi int, now int64) {
+	if n.gen == nil {
+		return
+	}
+	ss := &n.shard[shard]
+	for id := lo; id < hi; id++ {
+		r := &n.Routers[id]
+		if r.InjIn < 0 || r.Chip < 0 {
+			continue
+		}
+		nodeIdx := int(r.Local)
+		dst := n.gen.NextDest(now, r.Chip, nodeIdx, &r.RNG)
+		if dst < 0 {
+			continue
+		}
+		p := ss.free.get()
+		ss.pktSeq++
+		p.ID = uint64(shard)<<48 | ss.pktSeq
+		p.Aux, p.Aux2 = -1, -1
+		p.SrcChip = r.Chip
+		p.DstChip = dst
+		p.SrcNode = r.ID
+		p.DstNode = n.destNode(dst, nodeIdx, &r.RNG)
+		p.Size = n.packetSize
+		p.CreatedAt = now
+		ss.injectedPkts++
+		ip := &r.In[r.InjIn]
+		if ip.VCs[0].empty() {
+			ip.occMask |= 1
+			r.active++
+		}
+		ip.VCs[0].push(p)
+		r.nextAlloc = 0
+	}
+}
+
+// destNode picks the receiving router on the destination chip.
+func (n *Network) destNode(dstChip int32, srcNodeIdx int, rng *engine.RNG) NodeID {
+	nodes := n.ChipNodes[dstChip]
+	switch n.dstPolicy {
+	case DstRandom:
+		return nodes[rng.Intn(len(nodes))]
+	default:
+		return nodes[srcNodeIdx%len(nodes)]
+	}
+}
+
+// drainShard delivers arrived packets and returned credits for shard s:
+// data to the destination routers' VC buffers, credits to the source
+// routers' output ports. Each link queue has exactly one consumer shard.
+func (n *Network) drainShard(s int, now int64) {
+	for _, l := range n.dataLinks[s] {
+		if l.data.n == 0 {
+			continue
+		}
+		r := &n.Routers[l.Dst]
+		ip := &r.In[l.DstPort]
+		for {
+			tp, ok := l.data.popReady(now)
+			if !ok {
+				break
+			}
+			q := &ip.VCs[tp.p.VC]
+			if q.empty() {
+				ip.occMask |= 1 << tp.p.VC
+				r.active++
+			}
+			q.push(tp.p)
+			r.nextAlloc = 0
+		}
+	}
+	for _, l := range n.creditLinks[s] {
+		if l.credit.n == 0 {
+			continue
+		}
+		src := &n.Routers[l.Src]
+		op := &src.Out[l.SrcPort]
+		drained := false
+		for {
+			c, ok := l.credit.popReady(now)
+			if !ok {
+				break
+			}
+			op.Credits[c.vc] += c.flits
+			drained = true
+		}
+		if drained {
+			src.nextAlloc = 0
+		}
+	}
+}
+
+// Step advances the simulation by one cycle.
+func (n *Network) Step() {
+	now := n.Cycle
+	n.pool.Run(n.shards, func(s int) {
+		n.drainShard(s, now)
+	})
+	if n.preAllocate != nil {
+		n.preAllocate(n)
+	}
+	n.pool.Run(n.shards, func(s int) {
+		lo, hi := engine.ShardBounds(len(n.Routers), n.shards, s)
+		n.generate(s, lo, hi, now)
+		moved := 0
+		for id := lo; id < hi; id++ {
+			moved += n.Routers[id].allocate(n, now, s)
+		}
+		n.shard[s].moved = int64(moved)
+	})
+	var moved int64
+	for s := range n.shard {
+		moved += n.shard[s].moved
+	}
+	if moved == 0 && n.InFlight() > 0 {
+		n.idleCycles++
+	} else {
+		n.idleCycles = 0
+	}
+	n.Cycle++
+}
+
+// Run advances the simulation by `cycles` cycles, returning ErrDeadlock if
+// the progress watchdog trips.
+func (n *Network) Run(cycles int64) error {
+	for i := int64(0); i < cycles; i++ {
+		n.Step()
+		if n.idleCycles >= n.watchdogLimit {
+			return fmt.Errorf("%w: cycle %d, %d packets in flight",
+				ErrDeadlock, n.Cycle, n.InFlight())
+		}
+	}
+	return nil
+}
+
+// Drain runs with traffic generation disabled until all in-flight packets
+// are delivered or maxCycles elapse. It returns the number of cycles run.
+func (n *Network) Drain(maxCycles int64) (int64, error) {
+	savedGen := n.gen
+	n.gen = nil
+	defer func() { n.gen = savedGen }()
+	for i := int64(0); i < maxCycles; i++ {
+		if n.InFlight() == 0 {
+			return i, nil
+		}
+		n.Step()
+		if n.idleCycles >= n.watchdogLimit {
+			return i, fmt.Errorf("%w: during drain at cycle %d, %d in flight",
+				ErrDeadlock, n.Cycle, n.InFlight())
+		}
+	}
+	if n.InFlight() > 0 {
+		return maxCycles, fmt.Errorf("netsim: drain incomplete after %d cycles, %d in flight",
+			maxCycles, n.InFlight())
+	}
+	return maxCycles, nil
+}
+
+// InFlight returns the number of packets injected but not yet delivered.
+func (n *Network) InFlight() int64 {
+	var inj, del int64
+	for s := range n.shard {
+		inj += n.shard[s].injectedPkts
+		del += n.shard[s].deliveredPkts
+	}
+	return inj - del
+}
+
+// Snapshot merges per-shard counters into a Stats value. Cycles is the
+// measurement window length observed so far.
+func (n *Network) Snapshot() Stats {
+	var st Stats
+	end := n.measEnd
+	if n.measuring || end > n.Cycle {
+		end = n.Cycle
+	}
+	st.Cycles = end - n.measStart
+	st.Chips = len(n.ChipNodes)
+	for s := range n.shard {
+		ss := &n.shard[s]
+		st.InjectedPkts += ss.injectedPkts
+		st.DeliveredPkts += ss.deliveredPkts
+		st.WindowFlits += ss.winFlits
+		st.WindowPkts += ss.winPkts
+		st.NetLatencySum += ss.winNetLatSum
+		for c := 0; c < int(NumHopClasses); c++ {
+			st.Hops[c] += ss.winHops[c]
+		}
+		st.Latency.Merge(&ss.lat)
+	}
+	st.InFlightPkts = st.InjectedPkts - st.DeliveredPkts
+	return st
+}
+
+// Close releases the worker pool if the network owns it.
+func (n *Network) Close() {
+	if n.ownedPool && n.pool != nil {
+		n.pool.Close()
+	}
+}

@@ -1,0 +1,138 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sldf/internal/engine"
+)
+
+// buildRing constructs a unidirectional ring of n cores with the classic
+// dateline VC discipline: packets travel clockwise on VC0 and switch to VC1
+// after crossing the wrap-around link out of node n-1, which breaks the
+// ring's channel dependency cycle.
+func buildRing(t testing.TB, n int) *Network {
+	t.Helper()
+	b := NewBuilder()
+	spec := LinkSpec{Delay: 1, Width: 1, Class: HopOnChip, VCs: 2, BufFlits: 16}
+	ids := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = b.AddRouter(KindCore)
+		b.Router(ids[i]).X = int16(i)
+		b.AddTerminal(ids[i], int32(i), 0)
+	}
+	for i := 0; i < n; i++ {
+		b.Connect(ids[i], ids[(i+1)%n], spec)
+	}
+	net, err := b.Finalize(NetworkOptions{Seed: 21, Workers: 1, WatchdogCycles: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetRoute(func(net *Network, r *Router, p *Packet) (int, uint8) {
+		if r.ID == p.DstNode {
+			return int(r.EjectOut), 0
+		}
+		// Out port 1 is the clockwise ring link (0 is ejection).
+		vc := p.VC
+		if int(r.X) == n-1 {
+			vc = 1 // crossing the dateline
+		}
+		if p.SrcNode == r.ID {
+			vc = 0
+			if int(r.X) == n-1 {
+				vc = 1
+			}
+		}
+		return 1, vc
+	})
+	return net
+}
+
+func TestRingDatelineConservation(t *testing.T) {
+	f := func(nRaw, seedRaw uint8) bool {
+		n := int(nRaw%10) + 3
+		net := buildRing(t, n)
+		defer net.Close()
+		rate := 0.15
+		net.SetTraffic(GeneratorFunc(func(now int64, src int32, node int, rng *engine.RNG) int32 {
+			if now < 300 && rng.Bernoulli(rate) {
+				d := rng.Int31n(int32(n))
+				if d == src {
+					return -1
+				}
+				return d
+			}
+			return -1
+		}), 4, DstSameIndex)
+		net.StartMeasurement()
+		if err := net.Run(300); err != nil {
+			return false
+		}
+		if _, err := net.Drain(5000); err != nil {
+			return false
+		}
+		st := net.Snapshot()
+		return st.InjectedPkts == st.DeliveredPkts && st.InFlightPkts == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingSaturatedNoDeadlock(t *testing.T) {
+	// Full-pressure all-to-all on the ring must keep flowing thanks to the
+	// dateline VC; without it this pattern wedges (the watchdog proves the
+	// machinery can tell the difference — see TestDeadlockWatchdog).
+	net := buildRing(t, 8)
+	defer net.Close()
+	net.SetTraffic(GeneratorFunc(func(now int64, src int32, node int, rng *engine.RNG) int32 {
+		d := rng.Int31n(8)
+		if d == src {
+			return -1
+		}
+		return d
+	}), 4, DstSameIndex)
+	net.StartMeasurement()
+	if err := net.Run(3000); err != nil {
+		t.Fatal(err)
+	}
+	st := net.Snapshot()
+	// Theoretical ceiling: 8 links × 1 flit/cycle / 4 mean hops ≈ 0.5
+	// packets/cycle; sustained progress at ≥40% of it shows no wedging.
+	if st.DeliveredPkts < 600 {
+		t.Fatalf("only %d packets delivered under saturation", st.DeliveredPkts)
+	}
+}
+
+func TestRingLatencyScalesWithDistance(t *testing.T) {
+	// One-shot packets over increasing distances: latency must increase
+	// monotonically with hop count.
+	n := 9
+	var prev float64
+	for dist := 1; dist <= 4; dist++ {
+		net := buildRing(t, n)
+		sent := false
+		d := dist
+		net.SetTraffic(GeneratorFunc(func(now int64, src int32, node int, rng *engine.RNG) int32 {
+			if !sent && src == 0 {
+				sent = true
+				return int32(d)
+			}
+			return -1
+		}), 4, DstSameIndex)
+		net.StartMeasurement()
+		if err := net.Run(5); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.Drain(500); err != nil {
+			t.Fatal(err)
+		}
+		st := net.Snapshot()
+		lat := st.MeanLatency()
+		if lat <= prev {
+			t.Fatalf("latency %v at distance %d not above %v", lat, dist, prev)
+		}
+		prev = lat
+		net.Close()
+	}
+}

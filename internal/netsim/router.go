@@ -1,0 +1,393 @@
+package netsim
+
+import "sldf/internal/engine"
+
+// RouterKind tags a router with its architectural role so routing functions
+// can dispatch without topology-specific router types.
+type RouterKind uint8
+
+const (
+	// KindCore is an on-chip NoC router that hosts a terminal (a core of a
+	// chiplet in the switch-less Dragonfly, or a plain mesh node).
+	KindCore RouterKind = iota
+	// KindNIC is a terminal network interface in switch-based topologies:
+	// one injection/ejection point with a single uplink.
+	KindNIC
+	// KindSwitch is a high-radix non-blocking switch.
+	KindSwitch
+	// KindPort is an SR-LR conversion module at the edge of a C-group: a
+	// two-port pass-through node (paper Fig. 5/9).
+	KindPort
+)
+
+// String returns a short name for the router kind.
+func (k RouterKind) String() string {
+	switch k {
+	case KindCore:
+		return "core"
+	case KindNIC:
+		return "nic"
+	case KindSwitch:
+		return "switch"
+	case KindPort:
+		return "port"
+	}
+	return "unknown"
+}
+
+// vcQueue is one virtual channel of an input port: a FIFO of whole packets
+// (virtual cut-through) with a cached routing decision for the head packet.
+type vcQueue struct {
+	q    []*Packet
+	head int
+	// occ is the flits currently occupied in this VC's buffer.
+	occ int32
+	// cached head routing decision; routed=false after any head change.
+	routed  bool
+	outPort int16
+	outVC   uint8
+}
+
+func (v *vcQueue) empty() bool { return v.head == len(v.q) }
+
+func (v *vcQueue) front() *Packet {
+	return v.q[v.head]
+}
+
+func (v *vcQueue) push(p *Packet) {
+	if v.head > 0 && v.head == len(v.q) {
+		// Queue drained: reset to reuse capacity.
+		v.q = v.q[:0]
+		v.head = 0
+	}
+	v.q = append(v.q, p)
+	v.occ += p.Size
+}
+
+func (v *vcQueue) pop() *Packet {
+	p := v.q[v.head]
+	v.q[v.head] = nil
+	v.head++
+	v.occ -= p.Size
+	v.routed = false
+	if v.head == len(v.q) {
+		v.q = v.q[:0]
+		v.head = 0
+	}
+	return p
+}
+
+func (v *vcQueue) size() int { return len(v.q) - v.head }
+
+// at returns the i-th queued packet (0 = head).
+func (v *vcQueue) at(i int) *Packet { return v.q[v.head+i] }
+
+// removeAt removes and returns the i-th queued packet, preserving the order
+// of the others. Used by ideal (non-blocking) switches to bypass a blocked
+// head-of-line packet.
+func (v *vcQueue) removeAt(i int) *Packet {
+	if i == 0 {
+		return v.pop()
+	}
+	idx := v.head + i
+	p := v.q[idx]
+	copy(v.q[idx:], v.q[idx+1:])
+	v.q[len(v.q)-1] = nil
+	v.q = v.q[:len(v.q)-1]
+	v.occ -= p.Size
+	return p
+}
+
+// InPort is a router input port: one VC-partitioned buffer fed by a link.
+// The injection pseudo-port has a nil link and a single unbounded queue.
+type InPort struct {
+	Link      *Link
+	VCs       []vcQueue
+	busyUntil int64 // input crossbar bandwidth constraint
+	// occMask has bit v set iff VCs[v] is non-empty; kept by the router's
+	// own shard so allocation can skip empty ports without scanning.
+	occMask uint8
+}
+
+// Queued returns the total flits buffered across the port's VCs, used by
+// adaptive routing decisions and tests.
+func (ip *InPort) Queued() int32 {
+	var n int32
+	for i := range ip.VCs {
+		n += ip.VCs[i].occ
+	}
+	return n
+}
+
+// OutPort is a router output port: a link plus per-downstream-VC credits.
+// The ejection pseudo-port has a nil link and no credit limit.
+type OutPort struct {
+	Link      *Link
+	Credits   []int32
+	busyUntil int64
+	// rr is the round-robin pointer for switch allocation on this output.
+	rr uint32
+}
+
+// FreeCredits returns the credits available on downstream VC vc.
+func (op *OutPort) FreeCredits(vc uint8) int32 {
+	if op.Link == nil {
+		return 1 << 30
+	}
+	return op.Credits[vc]
+}
+
+// Router is a VC router: input-queued, credit flow control, output-first
+// round-robin separable allocation, one packet per output per serialization
+// window.
+type Router struct {
+	ID   NodeID
+	Kind RouterKind
+
+	// Topology coordinates. X/Y are mesh coordinates when the router is part
+	// of a mesh; CGroup/WGroup locate it in the Dragonfly hierarchy (-1 when
+	// not applicable); Chip is the terminal chip this router belongs to (-1
+	// for pure transit routers); Label is the up*/down* order label; Local
+	// is a topology-defined local index (e.g. external port number).
+	X, Y   int16
+	CGroup int32
+	WGroup int32
+	Chip   int32
+	Label  int32
+	Local  int32
+
+	In  []InPort
+	Out []OutPort
+
+	// InjIn / EjectOut index the injection input and ejection output pseudo
+	// ports (-1 when the router has none).
+	InjIn    int16
+	EjectOut int16
+
+	// Ideal marks a non-blocking switch: allocation looks past blocked
+	// head-of-line packets (bounded lookahead) and the crossbar has input
+	// speedup, modelling the paper's "single ideal high-radix router".
+	Ideal bool
+
+	// active counts non-empty (input port, VC) queues; allocation is
+	// skipped entirely while it is zero.
+	active int32
+	// nextAlloc is the earliest cycle at which allocation could succeed
+	// again when every requested output was serializing; any new arrival,
+	// credit return or injection resets it to zero.
+	nextAlloc int64
+
+	RNG engine.RNG
+
+	// requests is scratch space for the per-cycle allocation pass:
+	// requests[out] lists candidate (inPort, vc, queueIndex) keys.
+	requests [][]int32
+	// lastGrant[in*VCmax+vc] tracks per-VC-queue grants within a cycle so an
+	// ideal switch grants at most one packet per queue per cycle (queue
+	// indices in the request lists stay valid).
+	granted map[int32]int64
+}
+
+// idealLookahead bounds how many packets per VC queue an ideal switch may
+// consider beyond the head.
+const idealLookahead = 4
+
+// request key encoding: in<<16 | vc<<8 | queueIndex.
+func reqKey(in, vc, idx int) int32 {
+	return int32(in)<<16 | int32(vc)<<8 | int32(idx)
+}
+
+func reqIn(k int32) int  { return int(k >> 16) }
+func reqVC(k int32) int  { return int(k>>8) & 0xff }
+func reqIdx(k int32) int { return int(k & 0xff) }
+
+// allocate (phase B) performs routing + switch allocation and launches
+// packets onto links. It returns the number of packets that moved (for the
+// progress watchdog) and records deliveries through the network's sink.
+func (r *Router) allocate(net *Network, now int64, shard int) int {
+	// Build per-output request lists. Ordinary routers request only from VC
+	// heads (with the routing decision cached); ideal switches additionally
+	// request from up to idealLookahead packets behind a blocked head, which
+	// removes head-of-line blocking.
+	if r.active == 0 || r.nextAlloc > now {
+		return 0
+	}
+	if r.requests == nil {
+		r.requests = make([][]int32, len(r.Out))
+	}
+	for o := range r.requests {
+		r.requests[o] = r.requests[o][:0]
+	}
+	anyReq := false
+	for in := range r.In {
+		ip := &r.In[in]
+		if ip.occMask == 0 {
+			continue
+		}
+		for vc := range ip.VCs {
+			if ip.occMask&(1<<vc) == 0 {
+				continue
+			}
+			q := &ip.VCs[vc]
+			if !q.routed {
+				p := q.front()
+				out, outVC := net.route(net, r, p)
+				q.outPort = int16(out)
+				q.outVC = outVC
+				q.routed = true
+			}
+			r.requests[q.outPort] = append(r.requests[q.outPort], reqKey(in, vc, 0))
+			anyReq = true
+			if r.Ideal {
+				depth := q.size()
+				if depth > idealLookahead+1 {
+					depth = idealLookahead + 1
+				}
+				for i := 1; i < depth; i++ {
+					out, _ := net.route(net, r, q.at(i))
+					r.requests[out] = append(r.requests[out], reqKey(in, vc, i))
+				}
+			}
+		}
+	}
+	if !anyReq {
+		return 0
+	}
+	if r.Ideal {
+		if r.granted == nil {
+			r.granted = make(map[int32]int64)
+		}
+	}
+
+	moved := 0
+	// minWake tracks when the earliest serializing output frees up;
+	// otherwiseBlocked records blockers without a known unblock time
+	// (credits, input bandwidth), which are handled by event resets.
+	minWake := int64(1) << 62
+	otherwiseBlocked := false
+	for o := range r.Out {
+		op := &r.Out[o]
+		reqs := r.requests[o]
+		if len(reqs) == 0 {
+			continue
+		}
+		if op.busyUntil > now {
+			if op.busyUntil < minWake {
+				minWake = op.busyUntil
+			}
+			continue
+		}
+		// Round-robin pick: first eligible requester at or after rr pointer.
+		n := len(reqs)
+		granted := -1
+		var gOutVC uint8
+		for k := 0; k < n; k++ {
+			idx := (int(op.rr) + k) % n
+			key := reqs[idx]
+			in, vc, qi := reqIn(key), reqVC(key), reqIdx(key)
+			ip := &r.In[in]
+			q := &ip.VCs[vc]
+			var p *Packet
+			var outVC uint8
+			if qi == 0 {
+				p = q.front()
+				outVC = q.outVC
+			} else {
+				// Ideal-switch lookahead request: at most one grant per VC
+				// queue per cycle keeps the queue indices valid.
+				if r.granted[reqKey(in, vc, 0)] == now+1 || qi >= q.size() {
+					continue
+				}
+				p = q.at(qi)
+				var out int
+				out, outVC = net.route(net, r, p)
+				if out != o {
+					continue
+				}
+			}
+			if !r.Ideal && ip.busyUntil > now {
+				if ip.busyUntil < minWake {
+					minWake = ip.busyUntil
+				}
+				continue
+			}
+			if op.Link != nil && op.Credits[outVC] < p.Size {
+				otherwiseBlocked = true
+				continue
+			}
+			granted = idx
+			gOutVC = outVC
+			break
+		}
+		if granted < 0 {
+			continue
+		}
+		op.rr = uint32(granted + 1)
+		key := reqs[granted]
+		in, vc, qi := reqIn(key), reqVC(key), reqIdx(key)
+		ip := &r.In[in]
+		q := &ip.VCs[vc]
+		p := q.removeAt(qi)
+		if q.empty() {
+			ip.occMask &^= 1 << vc
+			r.active--
+		}
+		if r.Ideal {
+			r.granted[reqKey(in, vc, 0)] = now + 1
+		}
+		moved++
+		if ip.Link == nil {
+			// Leaving the source queue: network latency starts here.
+			p.InjectedAt = now
+		}
+
+		// Return credits upstream for the buffer space just freed.
+		if ip.Link != nil {
+			ip.Link.credit.push(timedCredit{
+				at:    now + int64(ip.Link.Delay),
+				flits: p.Size,
+				vc:    uint8(vc),
+			})
+		}
+
+		if op.Link == nil {
+			// Ejection: the terminal interface accepts one packet per Size
+			// cycles.
+			ser := int64(p.Size)
+			op.busyUntil = now + ser
+			if !r.Ideal {
+				ip.busyUntil = now + ser
+			}
+			p.DeliveredAt = now + ser
+			p.Hops[HopEject]++
+			net.deliver(shard, p)
+			continue
+		}
+
+		l := op.Link
+		ser := l.serCycles(p.Size)
+		op.busyUntil = now + ser
+		if !r.Ideal {
+			ip.busyUntil = now + ser
+		}
+		op.Credits[gOutVC] -= p.Size
+		p.VC = gOutVC
+		p.Hops[l.Class]++
+		if net.inWindow(now) {
+			l.winFlits += int64(p.Size)
+		}
+		// Virtual cut-through: head available downstream after wire delay
+		// plus one cycle of flit time.
+		l.data.push(p, now+int64(l.Delay)+1)
+	}
+	// Sleep until the earliest known unblock time when nothing moved and no
+	// blocker depends on asynchronous events (credits); arrivals, credit
+	// returns and injections reset nextAlloc through the drain/generate
+	// paths.
+	if moved == 0 && !otherwiseBlocked && minWake < int64(1)<<62 {
+		r.nextAlloc = minWake
+	} else {
+		r.nextAlloc = 0
+	}
+	return moved
+}

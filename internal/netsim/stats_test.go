@@ -1,0 +1,104 @@
+package netsim
+
+import "testing"
+
+func TestStatsZeroValues(t *testing.T) {
+	var st Stats
+	if st.MeanLatency() != 0 || st.MeanNetLatency() != 0 || st.Throughput() != 0 {
+		t.Fatal("zero stats must report zero means")
+	}
+	if st.MeanHops(HopGlobal) != 0 {
+		t.Fatal("zero stats must report zero hops")
+	}
+}
+
+func TestStatsThroughputFormula(t *testing.T) {
+	st := Stats{Cycles: 1000, Chips: 4, WindowFlits: 2000}
+	if got := st.Throughput(); got != 0.5 {
+		t.Fatalf("throughput %v, want 0.5", got)
+	}
+}
+
+func TestStatsMeanHops(t *testing.T) {
+	var st Stats
+	st.WindowPkts = 4
+	st.Hops[HopShortReach] = 10
+	if got := st.MeanHops(HopShortReach); got != 2.5 {
+		t.Fatalf("mean hops %v, want 2.5", got)
+	}
+}
+
+func TestHistogramMergeEmpty(t *testing.T) {
+	var a, b LatencyHist
+	a.Add(5)
+	a.Merge(&b) // merging empty must not disturb
+	if a.Count != 1 || a.Min != 5 || a.Max != 5 {
+		t.Fatalf("merge with empty corrupted: %+v", a)
+	}
+	b.Merge(&a)
+	if b.Count != 1 || b.Min != 5 {
+		t.Fatalf("merge into empty wrong: count=%d min=%d", b.Count, b.Min)
+	}
+}
+
+func TestHistogramMergeMinMax(t *testing.T) {
+	var a, b LatencyHist
+	a.Add(10)
+	a.Add(100)
+	b.Add(3)
+	b.Add(50)
+	a.Merge(&b)
+	if a.Count != 4 || a.Min != 3 || a.Max != 100 {
+		t.Fatalf("merged summary wrong: %+v", a)
+	}
+}
+
+func TestHopClassStrings(t *testing.T) {
+	want := map[HopClass]string{
+		HopOnChip: "onchip", HopShortReach: "sr", HopLongLocal: "local",
+		HopGlobal: "global", HopEject: "eject", NumHopClasses: "unknown",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+}
+
+func TestRouterKindStrings(t *testing.T) {
+	want := map[RouterKind]string{
+		KindCore: "core", KindNIC: "nic", KindSwitch: "switch", KindPort: "port",
+		RouterKind(99): "unknown",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("kind %d = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestPacketTotalHops(t *testing.T) {
+	p := &Packet{}
+	p.Hops[HopOnChip] = 3
+	p.Hops[HopShortReach] = 2
+	p.Hops[HopGlobal] = 1
+	p.Hops[HopEject] = 1 // excluded
+	if got := p.TotalHops(); got != 6 {
+		t.Fatalf("total hops %d, want 6", got)
+	}
+}
+
+func TestFreeListReuse(t *testing.T) {
+	var f packetFreeList
+	p := f.get()
+	p.ID = 42
+	p.Hops[HopGlobal] = 7
+	f.put(p)
+	q := f.get()
+	if q != p {
+		t.Fatal("free list did not reuse the packet")
+	}
+	if q.ID != 0 || q.Hops[HopGlobal] != 0 {
+		t.Fatal("reused packet not reset")
+	}
+}

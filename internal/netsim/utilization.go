@@ -1,0 +1,51 @@
+package netsim
+
+import "sort"
+
+// LinkUtil summarizes one link's load over the measurement window.
+type LinkUtil struct {
+	Link        *Link
+	Flits       int64
+	Utilization float64 // flits / (width × window cycles), 1.0 = saturated
+}
+
+// LinkUtilization returns per-class aggregate utilization and the k most
+// loaded links, for bottleneck analysis (e.g. showing the C-group mesh
+// bisection saturating in Fig. 12 while global channels idle).
+func (n *Network) LinkUtilization(k int) (byClass [NumHopClasses]float64, hottest []LinkUtil) {
+	end := n.measEnd
+	if n.measuring || end > n.Cycle {
+		end = n.Cycle
+	}
+	window := end - n.measStart
+	if window <= 0 {
+		return byClass, nil
+	}
+	var classFlits, classCap [NumHopClasses]float64
+	utils := make([]LinkUtil, 0, len(n.Links))
+	for _, l := range n.Links {
+		capacity := float64(l.Width) * float64(window)
+		u := LinkUtil{Link: l, Flits: l.winFlits}
+		if capacity > 0 {
+			u.Utilization = float64(l.winFlits) / capacity
+		}
+		classFlits[l.Class] += float64(l.winFlits)
+		classCap[l.Class] += capacity
+		utils = append(utils, u)
+	}
+	for c := range byClass {
+		if classCap[c] > 0 {
+			byClass[c] = classFlits[c] / classCap[c]
+		}
+	}
+	sort.Slice(utils, func(i, j int) bool {
+		if utils[i].Utilization != utils[j].Utilization {
+			return utils[i].Utilization > utils[j].Utilization
+		}
+		return utils[i].Link.ID < utils[j].Link.ID
+	})
+	if k > len(utils) {
+		k = len(utils)
+	}
+	return byClass, utils[:k]
+}

@@ -1,0 +1,83 @@
+package netsim
+
+import (
+	"testing"
+
+	"sldf/internal/engine"
+)
+
+func TestLinkUtilizationSingleFlow(t *testing.T) {
+	spec := LinkSpec{Delay: 1, Width: 1, Class: HopShortReach, VCs: 1, BufFlits: 32}
+	net := buildLine(t, 2, spec, NetworkOptions{Seed: 11, Workers: 1})
+	defer net.Close()
+	net.SetTraffic(GeneratorFunc(func(now int64, src int32, node int, rng *engine.RNG) int32 {
+		if src == 0 && now%8 == 0 { // 0.5 flits/cycle offered
+			return 1
+		}
+		return -1
+	}), 4, DstSameIndex)
+	if err := net.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	net.StartMeasurement()
+	if err := net.Run(800); err != nil {
+		t.Fatal(err)
+	}
+	net.StopMeasurement()
+	byClass, hottest := net.LinkUtilization(2)
+	// The 0→1 link carries ~0.5; the reverse link is idle, so the class
+	// aggregate is ~0.25.
+	if byClass[HopShortReach] < 0.2 || byClass[HopShortReach] > 0.3 {
+		t.Fatalf("class utilization %v, want ~0.25", byClass[HopShortReach])
+	}
+	if len(hottest) != 2 {
+		t.Fatalf("hottest links = %d", len(hottest))
+	}
+	if hottest[0].Utilization < 0.45 || hottest[0].Utilization > 0.55 {
+		t.Fatalf("hottest utilization %v, want ~0.5", hottest[0].Utilization)
+	}
+	if hottest[1].Flits != 0 {
+		t.Fatalf("reverse link carried %d flits", hottest[1].Flits)
+	}
+}
+
+func TestLinkUtilizationNoWindow(t *testing.T) {
+	spec := LinkSpec{Delay: 1, Width: 1, Class: HopShortReach, VCs: 1, BufFlits: 32}
+	net := buildLine(t, 2, spec, NetworkOptions{Seed: 12, Workers: 1})
+	defer net.Close()
+	byClass, hottest := net.LinkUtilization(5)
+	if hottest != nil {
+		t.Fatal("utilization without a window must be empty")
+	}
+	for _, u := range byClass {
+		if u != 0 {
+			t.Fatal("nonzero class utilization without a window")
+		}
+	}
+}
+
+func TestLinkUtilizationWidthNormalized(t *testing.T) {
+	// A width-2 link carrying the same flits reports half the utilization.
+	run := func(width int32) float64 {
+		spec := LinkSpec{Delay: 1, Width: width, Class: HopShortReach, VCs: 1, BufFlits: 32}
+		net := buildLine(t, 2, spec, NetworkOptions{Seed: 13, Workers: 1})
+		defer net.Close()
+		net.SetTraffic(GeneratorFunc(func(now int64, src int32, node int, rng *engine.RNG) int32 {
+			if src == 0 && now%8 == 0 {
+				return 1
+			}
+			return -1
+		}), 4, DstSameIndex)
+		net.StartMeasurement()
+		if err := net.Run(800); err != nil {
+			t.Fatal(err)
+		}
+		net.StopMeasurement()
+		_, hottest := net.LinkUtilization(1)
+		return hottest[0].Utilization
+	}
+	u1, u2 := run(1), run(2)
+	if u2 > 0.6*u1 {
+		t.Fatalf("width-2 utilization %v not ~half of width-1 %v", u2, u1)
+	}
+}

@@ -1,0 +1,133 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sldf/internal/netsim"
+	"sldf/internal/topology"
+)
+
+// buildFor constructs an SLDF for arbitrary small parameters and a scheme.
+func buildFor(t testing.TB, p topology.SLDFParams, scheme Scheme, mode Mode) (*topology.SLDF, *SLDFRouter, error) {
+	t.Helper()
+	if scheme == ReducedVC {
+		p.Layout = topology.LayoutSouthNorth
+	}
+	s, err := topology.BuildSLDF(p, topology.DefaultLinkClasses(SLDFVCCount(scheme, mode), 1), opts())
+	if err != nil {
+		return nil, nil, err
+	}
+	sr, err := NewSLDFRouter(s, scheme, mode)
+	if err != nil {
+		s.Net.Close()
+		return nil, nil, err
+	}
+	return s, sr, nil
+}
+
+// TestReducedVCRectangularMeshCDG verifies the reduced scheme's restricted
+// routing on non-square C-groups (the radix-24/radix-32 shapes): the
+// row-column-row class argument must hold for any MeshX×MeshY.
+func TestReducedVCRectangularMeshCDG(t *testing.T) {
+	shapes := []topology.SLDFParams{
+		{NoCDim: 2, ChipCols: 2, ChipRows: 1, AB: 2, H: 1}, // 4×2 mesh
+		{NoCDim: 2, ChipCols: 1, ChipRows: 2, AB: 2, H: 1}, // 2×4 mesh
+		{NoCDim: 2, ChipCols: 3, ChipRows: 1, AB: 2, H: 1}, // 6×2 mesh
+		{NoCDim: 1, ChipCols: 4, ChipRows: 2, AB: 3, H: 1}, // 4×2, tiny NoC
+	}
+	for _, p := range shapes {
+		for _, mode := range []Mode{Minimal, Valiant, ValiantLower} {
+			s, sr, err := buildFor(t, p, ReducedVC, mode)
+			if err != nil {
+				t.Fatalf("%+v/%v: %v", p, mode, err)
+			}
+			wOf := func(chip int32) int32 {
+				w, _, _ := s.ChipLocation(chip)
+				return int32(w)
+			}
+			aux := MinimalAux
+			switch mode {
+			case Valiant:
+				aux = allAux(s.Params.Groups(), wOf)
+			case ValiantLower:
+				aux = lowerAux(wOf)
+			}
+			g, err := BuildCDG(s.Net, sr.Func(), int(sr.VCs()), aux)
+			if err != nil {
+				t.Fatalf("%+v/%v: %v", p, mode, err)
+			}
+			if cyc, witness := g.HasCycle(); cyc {
+				t.Fatalf("%+v/%v: dependency cycle %v", p, mode, witness)
+			}
+			s.Net.Close()
+		}
+	}
+}
+
+// TestRandomParamsAllPairsRoute checks assorted small SLDF parameter
+// combinations: every (src,dst) pair must be deliverable under both
+// schemes (BuildCDG enumerates all pairs and fails on any routing error).
+func TestRandomParamsAllPairsRoute(t *testing.T) {
+	cases := []topology.SLDFParams{
+		{NoCDim: 1, ChipCols: 2, ChipRows: 1, AB: 2, H: 1},
+		{NoCDim: 2, ChipCols: 1, ChipRows: 1, AB: 3, H: 1},
+		{NoCDim: 1, ChipCols: 2, ChipRows: 2, AB: 2, H: 2},
+	}
+	for _, p := range cases {
+		if p.MeshX() < 2 || p.MeshY() < 2 {
+			continue
+		}
+		for _, scheme := range []Scheme{BaselineVC, ReducedVC} {
+			s, sr, err := buildFor(t, p, scheme, Minimal)
+			if err != nil {
+				t.Fatalf("%+v/%v: %v", p, scheme, err)
+			}
+			if _, err := BuildCDG(s.Net, sr.Func(), int(sr.VCs()), MinimalAux); err != nil {
+				t.Fatalf("%+v/%v: %v", p, scheme, err)
+			}
+			s.Net.Close()
+		}
+	}
+}
+
+// TestTraceDeterministic confirms that tracing the same pair twice yields
+// identical paths (routing functions must be pure given fixed Aux).
+func TestTraceDeterministic(t *testing.T) {
+	s, sr := smallSLDF(t, BaselineVC, Minimal)
+	defer s.Net.Close()
+	f := func(a, b uint8) bool {
+		chips := int32(s.Net.NumChips())
+		src := int32(a) % chips
+		dst := int32(b) % chips
+		if src == dst {
+			return true
+		}
+		trace := func() [][2]int64 {
+			p := &netsim.Packet{
+				SrcChip: src, DstChip: dst,
+				SrcNode: s.Net.ChipNodes[src][0],
+				DstNode: s.Net.ChipNodes[dst][0],
+				Size:    4, Aux: -1, Aux2: 1,
+			}
+			hops, err := TracePath(s.Net, sr.Func(), p, 4096)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return hops
+		}
+		h1, h2 := trace(), trace()
+		if len(h1) != len(h2) {
+			return false
+		}
+		for i := range h1 {
+			if h1[i] != h2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

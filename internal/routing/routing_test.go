@@ -1,0 +1,355 @@
+package routing
+
+import (
+	"testing"
+
+	"sldf/internal/engine"
+	"sldf/internal/netsim"
+	"sldf/internal/topology"
+)
+
+func opts() netsim.NetworkOptions {
+	return netsim.NetworkOptions{Seed: 1, Workers: 1}
+}
+
+// smallSLDF builds a g=5 switch-less Dragonfly for a scheme/mode pair.
+func smallSLDF(t testing.TB, scheme Scheme, mode Mode) (*topology.SLDF, *SLDFRouter) {
+	t.Helper()
+	layout := topology.LayoutPerimeter
+	if scheme == ReducedVC {
+		layout = topology.LayoutSouthNorth
+	}
+	p := topology.SLDFParams{NoCDim: 2, ChipCols: 2, ChipRows: 2, AB: 2, H: 2, Layout: layout}
+	s, err := topology.BuildSLDF(p, topology.DefaultLinkClasses(SLDFVCCount(scheme, mode), 1), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := NewSLDFRouter(s, scheme, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Net.SetRoute(sr.Func())
+	return s, sr
+}
+
+// allAux enumerates every valid Valiant intermediate for a network with g
+// W-groups, given the chip→W-group mapping.
+func allAux(g int, wOf func(chip int32) int32) func(src, dst int32) []int32 {
+	return func(src, dst int32) []int32 {
+		ws, wd := wOf(src), wOf(dst)
+		if ws == wd || g <= 2 {
+			return []int32{-1}
+		}
+		var out []int32
+		for w := int32(0); w < int32(g); w++ {
+			if w != ws && w != wd {
+				out = append(out, w)
+			}
+		}
+		return out
+	}
+}
+
+func TestSLDFAllPairsDeliverable(t *testing.T) {
+	for _, scheme := range []Scheme{BaselineVC, ReducedVC} {
+		for _, mode := range []Mode{Minimal, Valiant} {
+			s, sr := smallSLDF(t, scheme, mode)
+			wOf := func(chip int32) int32 {
+				w, _, _ := s.ChipLocation(chip)
+				return int32(w)
+			}
+			aux := MinimalAux
+			if mode == Valiant {
+				aux = allAux(s.Params.Groups(), wOf)
+			}
+			if _, err := BuildCDG(s.Net, sr.Func(), int(sr.VCs()), aux); err != nil {
+				t.Fatalf("%v/%v: %v", scheme, mode, err)
+			}
+			s.Net.Close()
+		}
+	}
+}
+
+func TestSLDFCDGAcyclic(t *testing.T) {
+	for _, scheme := range []Scheme{BaselineVC, ReducedVC} {
+		for _, mode := range []Mode{Minimal, Valiant} {
+			s, sr := smallSLDF(t, scheme, mode)
+			wOf := func(chip int32) int32 {
+				w, _, _ := s.ChipLocation(chip)
+				return int32(w)
+			}
+			aux := MinimalAux
+			if mode == Valiant {
+				aux = allAux(s.Params.Groups(), wOf)
+			}
+			g, err := BuildCDG(s.Net, sr.Func(), int(sr.VCs()), aux)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", scheme, mode, err)
+			}
+			if cyc, witness := g.HasCycle(); cyc {
+				t.Fatalf("%v/%v: channel dependency cycle of length %d: %v",
+					scheme, mode, len(witness), witness)
+			}
+			s.Net.Close()
+		}
+	}
+}
+
+func TestSLDFMinimalHopBounds(t *testing.T) {
+	// Minimal paths visit at most 4 C-groups and 3 long-reach channels
+	// (1 global + 2 local), per the paper's diameter analysis (Eq. 7).
+	s, sr := smallSLDF(t, BaselineVC, Minimal)
+	defer s.Net.Close()
+	route := sr.Func()
+	chips := int32(s.Net.NumChips())
+	for src := int32(0); src < chips; src++ {
+		for dst := int32(0); dst < chips; dst++ {
+			if src == dst {
+				continue
+			}
+			p := &netsim.Packet{
+				SrcChip: src, DstChip: dst,
+				SrcNode: s.Net.ChipNodes[src][0],
+				DstNode: s.Net.ChipNodes[dst][0],
+				Size:    4, Aux: -1, Aux2: -1,
+			}
+			hops, err := TracePath(s.Net, route, p, 4096)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var global, local int
+			for _, h := range hops {
+				switch s.Net.Links[h[0]].Class {
+				case netsim.HopGlobal:
+					global++
+				case netsim.HopLongLocal:
+					local++
+				}
+			}
+			if global > 1 {
+				t.Fatalf("chip %d→%d: %d global hops on minimal path", src, dst, global)
+			}
+			if local > 2 {
+				t.Fatalf("chip %d→%d: %d local hops on minimal path", src, dst, local)
+			}
+		}
+	}
+}
+
+func TestSLDFValiantHopBounds(t *testing.T) {
+	// Valiant paths: at most 2 global and 4 local channels.
+	s, sr := smallSLDF(t, BaselineVC, Valiant)
+	defer s.Net.Close()
+	route := sr.Func()
+	wOf := func(chip int32) int32 {
+		w, _, _ := s.ChipLocation(chip)
+		return int32(w)
+	}
+	aux := allAux(s.Params.Groups(), wOf)
+	chips := int32(s.Net.NumChips())
+	for src := int32(0); src < chips; src += 3 {
+		for dst := int32(0); dst < chips; dst += 3 {
+			if src == dst {
+				continue
+			}
+			for _, a := range aux(src, dst) {
+				p := &netsim.Packet{
+					SrcChip: src, DstChip: dst,
+					SrcNode: s.Net.ChipNodes[src][0],
+					DstNode: s.Net.ChipNodes[dst][0],
+					Size:    4, Aux: a, Aux2: -1,
+				}
+				hops, err := TracePath(s.Net, route, p, 4096)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var global, local int
+				for _, h := range hops {
+					switch s.Net.Links[h[0]].Class {
+					case netsim.HopGlobal:
+						global++
+					case netsim.HopLongLocal:
+						local++
+					}
+				}
+				if global > 2 || local > 4 {
+					t.Fatalf("chip %d→%d aux %d: %d global / %d local hops",
+						src, dst, a, global, local)
+				}
+			}
+		}
+	}
+}
+
+func TestSLDFVCMonotoneBaseline(t *testing.T) {
+	// Algorithm 1: the VC index never decreases along a path.
+	s, sr := smallSLDF(t, BaselineVC, Valiant)
+	defer s.Net.Close()
+	route := sr.Func()
+	wOf := func(chip int32) int32 {
+		w, _, _ := s.ChipLocation(chip)
+		return int32(w)
+	}
+	aux := allAux(s.Params.Groups(), wOf)
+	chips := int32(s.Net.NumChips())
+	for src := int32(0); src < chips; src += 2 {
+		for dst := int32(0); dst < chips; dst += 2 {
+			if src == dst {
+				continue
+			}
+			for _, a := range aux(src, dst) {
+				p := &netsim.Packet{
+					SrcChip: src, DstChip: dst,
+					SrcNode: s.Net.ChipNodes[src][0],
+					DstNode: s.Net.ChipNodes[dst][0],
+					Size:    4, Aux: a, Aux2: -1,
+				}
+				hops, err := TracePath(s.Net, route, p, 4096)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 1; i < len(hops); i++ {
+					if hops[i][1] < hops[i-1][1] {
+						t.Fatalf("chip %d→%d: VC decreased %d→%d at hop %d",
+							src, dst, hops[i-1][1], hops[i][1], i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSLDFReducedUsesFewerVCs(t *testing.T) {
+	if SLDFVCCount(ReducedVC, Minimal) >= SLDFVCCount(BaselineVC, Minimal) {
+		t.Fatal("reduced minimal must use fewer VCs than baseline")
+	}
+	if SLDFVCCount(ReducedVC, Valiant) >= SLDFVCCount(BaselineVC, Valiant) {
+		t.Fatal("reduced valiant must use fewer VCs than baseline")
+	}
+	// Paper: only one additional VC vs traditional Dragonfly.
+	if SLDFVCCount(ReducedVC, Minimal) != DragonflyVCCount(Minimal)+1 {
+		t.Fatalf("reduced minimal VCs = %d, want dragonfly+1 = %d",
+			SLDFVCCount(ReducedVC, Minimal), DragonflyVCCount(Minimal)+1)
+	}
+	if SLDFVCCount(ReducedVC, Valiant) != DragonflyVCCount(Valiant)+1 {
+		t.Fatalf("reduced valiant VCs = %d, want dragonfly+1 = %d",
+			SLDFVCCount(ReducedVC, Valiant), DragonflyVCCount(Valiant)+1)
+	}
+}
+
+func TestSLDFReducedRequiresSouthNorth(t *testing.T) {
+	p := topology.SLDFParams{NoCDim: 2, ChipCols: 2, ChipRows: 2, AB: 2, H: 2,
+		Layout: topology.LayoutPerimeter}
+	s, err := topology.BuildSLDF(p, topology.DefaultLinkClasses(3, 1), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Net.Close()
+	if _, err := NewSLDFRouter(s, ReducedVC, Minimal); err == nil {
+		t.Fatal("ReducedVC must reject perimeter layout")
+	}
+}
+
+func buildDF(t testing.TB, mode Mode) (*topology.Dragonfly, netsim.RouteFunc) {
+	t.Helper()
+	p := topology.DragonflyParams{P: 2, A: 3, H: 2} // g = 7, 42 chips
+	df, err := topology.BuildDragonfly(p, topology.DefaultLinkClasses(DragonflyVCCount(mode), 1), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, err := DragonflyRoute(df, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df.Net.SetRoute(route)
+	return df, route
+}
+
+func TestDragonflyCDGAcyclic(t *testing.T) {
+	for _, mode := range []Mode{Minimal, Valiant} {
+		df, route := buildDF(t, mode)
+		wOf := func(chip int32) int32 {
+			w, _, _ := df.Params.ChipLocation(chip)
+			return int32(w)
+		}
+		aux := MinimalAux
+		if mode == Valiant {
+			aux = allAux(df.Params.Groups(), wOf)
+		}
+		g, err := BuildCDG(df.Net, route, int(DragonflyVCCount(mode)), aux)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if cyc, witness := g.HasCycle(); cyc {
+			t.Fatalf("%v: dependency cycle %v", mode, witness)
+		}
+		df.Net.Close()
+	}
+}
+
+func TestDragonflyMinimalDiameter(t *testing.T) {
+	// Minimal switch-based Dragonfly: ≤ 1 global + 2 local switch-switch
+	// hops + 2 terminal hops.
+	df, route := buildDF(t, Minimal)
+	defer df.Net.Close()
+	chips := int32(df.Net.NumChips())
+	for src := int32(0); src < chips; src++ {
+		for dst := int32(0); dst < chips; dst++ {
+			if src == dst {
+				continue
+			}
+			p := &netsim.Packet{
+				SrcChip: src, DstChip: dst,
+				SrcNode: df.Net.ChipNodes[src][0],
+				DstNode: df.Net.ChipNodes[dst][0],
+				Size:    4, Aux: -1, Aux2: -1,
+			}
+			hops, err := TracePath(df.Net, route, p, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var global int
+			for _, h := range hops {
+				if df.Net.Links[h[0]].Class == netsim.HopGlobal {
+					global++
+				}
+			}
+			if global > 1 {
+				t.Fatalf("chip %d→%d: %d global hops", src, dst, global)
+			}
+			if len(hops) > 5 { // NIC→sw, sw→sw, sw→sw(global), sw→sw, sw→NIC
+				t.Fatalf("chip %d→%d: %d hops on minimal path", src, dst, len(hops))
+			}
+		}
+	}
+}
+
+func TestSLDFLoadedSimulationNoDeadlock(t *testing.T) {
+	// Push every scheme/mode near saturation under uniform traffic and
+	// verify sustained progress (the watchdog would trip otherwise).
+	for _, scheme := range []Scheme{BaselineVC, ReducedVC} {
+		for _, mode := range []Mode{Minimal, Valiant} {
+			s, _ := smallSLDF(t, scheme, mode)
+			uni := netsim.GeneratorFunc(func(now int64, src int32, node int, rng *engine.RNG) int32 {
+				if rng.Bernoulli(0.25) { // 4 nodes/chip × 0.25/4-flit ≈ 1 flit/cycle/chip
+					d := rng.Int31n(int32(s.Net.NumChips()))
+					if d == src {
+						return -1
+					}
+					return d
+				}
+				return -1
+			})
+			s.Net.SetTraffic(uni, 4, netsim.DstSameIndex)
+			s.Net.StartMeasurement()
+			if err := s.Net.Run(1500); err != nil {
+				t.Fatalf("%v/%v: %v", scheme, mode, err)
+			}
+			st := s.Net.Snapshot()
+			if st.DeliveredPkts == 0 {
+				t.Fatalf("%v/%v: nothing delivered", scheme, mode)
+			}
+			s.Net.Close()
+		}
+	}
+}

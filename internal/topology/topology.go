@@ -1,0 +1,50 @@
+// Package topology builds the router/link graphs evaluated in the paper:
+//
+//   - a single non-blocking switch with attached terminals (the "Switch"
+//     baseline of Fig. 10a-b),
+//   - a standalone 2D-mesh C-group (the "2D-Mesh" curve of Fig. 10a-b),
+//   - the switch-based Dragonfly (Kim et al.) baseline, and
+//   - the switch-less Dragonfly on wafers (the paper's contribution).
+//
+// Builders return a metadata struct describing the constructed hierarchy;
+// the routing package consumes this metadata to produce RouteFuncs.
+package topology
+
+import (
+	"fmt"
+
+	"sldf/internal/netsim"
+)
+
+// LinkClasses bundles the physical link specifications for each channel
+// class. Defaults follow paper Table IV.
+type LinkClasses struct {
+	OnChip netsim.LinkSpec // within a chiplet
+	SR     netsim.LinkSpec // on-wafer short-reach (between chiplets, core↔port)
+	Local  netsim.LinkSpec // long-reach intra-W-group cable
+	Global netsim.LinkSpec // long-reach inter-W-group cable
+}
+
+// DefaultLinkClasses returns Table IV link parameters with the given number
+// of virtual channels on every link and an intra-C-group bandwidth
+// multiplier (1 = paper's uniform bandwidth, 2 = "2B", 4 = "4B").
+func DefaultLinkClasses(vcs uint8, intraWidth int32) LinkClasses {
+	if intraWidth < 1 {
+		intraWidth = 1
+	}
+	const buf = 32 // flits per VC (Table IV)
+	return LinkClasses{
+		OnChip: netsim.LinkSpec{Delay: 1, Width: intraWidth, Class: netsim.HopOnChip, VCs: vcs, BufFlits: buf},
+		SR:     netsim.LinkSpec{Delay: 1, Width: intraWidth, Class: netsim.HopShortReach, VCs: vcs, BufFlits: buf},
+		Local:  netsim.LinkSpec{Delay: 8, Width: 1, Class: netsim.HopLongLocal, VCs: vcs, BufFlits: buf},
+		Global: netsim.LinkSpec{Delay: 8, Width: 1, Class: netsim.HopGlobal, VCs: vcs, BufFlits: buf},
+	}
+}
+
+// validatePositive reports an error when v < min, used by builders.
+func validatePositive(name string, v, min int) error {
+	if v < min {
+		return fmt.Errorf("topology: %s = %d, must be >= %d", name, v, min)
+	}
+	return nil
+}

@@ -1,0 +1,365 @@
+// Package traffic implements the workloads of the paper's evaluation
+// (Sec. V-A3): unicast permutation patterns (uniform, bit-reverse,
+// bit-shuffle, bit-transpose), adversarial patterns (hotspot, worst-case),
+// and collective patterns (unidirectional/bidirectional ring AllReduce).
+//
+// Patterns are defined at chip granularity: Dest maps a source chip to a
+// destination chip (or -1 for silence). The Rate generator turns a pattern
+// into a Bernoulli open-loop injection process at a configured rate in
+// flits/cycle/chip, matching how the paper sweeps injection rates.
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+
+	"sldf/internal/engine"
+	"sldf/internal/netsim"
+)
+
+// Pattern maps a source chip to a destination chip. Implementations must be
+// safe for concurrent calls with distinct rng streams.
+type Pattern interface {
+	// Dest returns the destination chip for one packet from src, or -1 if
+	// src does not transmit under this pattern.
+	Dest(src int32, rng *engine.RNG) int32
+	// Name identifies the pattern in reports.
+	Name() string
+}
+
+// Uniform sends every packet to a uniformly random chip other than the
+// source, over chips [Base, Base+N).
+type Uniform struct {
+	N    int32
+	Base int32
+}
+
+// Dest implements Pattern.
+func (u Uniform) Dest(src int32, rng *engine.RNG) int32 {
+	if u.N < 2 {
+		return -1
+	}
+	if src < u.Base || src >= u.Base+u.N {
+		return -1
+	}
+	for {
+		d := u.Base + rng.Int31n(u.N)
+		if d != src {
+			return d
+		}
+	}
+}
+
+// Name implements Pattern.
+func (u Uniform) Name() string { return "uniform" }
+
+// bitPermutation applies a permutation over the low B bits of the chip
+// index, where B = floor(log2(N)). Chips at index >= 2^B (when N is not a
+// power of two) fall back to uniform traffic, which keeps them active
+// without breaking the permutation property of the main block — the
+// standard treatment for non-power-of-two networks.
+type bitPermutation struct {
+	n    int32
+	bits int
+	perm func(v, b int) int
+	name string
+}
+
+func (p bitPermutation) Name() string { return p.name }
+
+func (p bitPermutation) Dest(src int32, rng *engine.RNG) int32 {
+	if src >= 1<<p.bits {
+		return Uniform{N: p.n}.Dest(src, rng)
+	}
+	d := int32(p.perm(int(src), p.bits))
+	if d == src {
+		return -1 // self-traffic is dropped, as in standard traffic suites
+	}
+	return d
+}
+
+// BitReverse returns the bit-reversal permutation pattern over n chips.
+func BitReverse(n int32) Pattern {
+	b := log2floor(n)
+	return bitPermutation{n: n, bits: b, name: "bit-reverse",
+		perm: func(v, b int) int {
+			return int(bits.Reverse32(uint32(v)) >> (32 - b))
+		}}
+}
+
+// BitShuffle returns the perfect-shuffle (rotate-left-1) pattern.
+func BitShuffle(n int32) Pattern {
+	b := log2floor(n)
+	return bitPermutation{n: n, bits: b, name: "bit-shuffle",
+		perm: func(v, b int) int {
+			hi := (v >> (b - 1)) & 1
+			return ((v << 1) | hi) & (1<<b - 1)
+		}}
+}
+
+// BitTranspose returns the transpose pattern (swap high/low halves).
+func BitTranspose(n int32) Pattern {
+	b := log2floor(n)
+	h := b / 2
+	return bitPermutation{n: n, bits: b, name: "bit-transpose",
+		perm: func(v, b int) int {
+			lo := v & (1<<h - 1)
+			hi := v >> h
+			return lo<<(b-h) | hi
+		}}
+}
+
+func log2floor(n int32) int {
+	if n < 2 {
+		return 1
+	}
+	return 31 - bits.LeadingZeros32(uint32(n))
+}
+
+// Hotspot confines communication to the chips of a set of W-groups: every
+// chip of a hot group sends to a random chip in a (uniformly chosen) hot
+// group; all other chips are silent. This is the paper's hotspot pattern
+// with four hot W-groups.
+type Hotspot struct {
+	ChipsPerGroup int32
+	HotGroups     []int32
+}
+
+// Name implements Pattern.
+func (h Hotspot) Name() string { return "hotspot" }
+
+// Dest implements Pattern.
+func (h Hotspot) Dest(src int32, rng *engine.RNG) int32 {
+	g := src / h.ChipsPerGroup
+	hot := false
+	for _, hg := range h.HotGroups {
+		if g == hg {
+			hot = true
+			break
+		}
+	}
+	if !hot {
+		return -1
+	}
+	for {
+		tg := h.HotGroups[rng.Intn(len(h.HotGroups))]
+		d := tg*h.ChipsPerGroup + rng.Int31n(h.ChipsPerGroup)
+		if d != src {
+			return d
+		}
+	}
+}
+
+// WorstCase is the Dragonfly adversarial pattern: every chip of W-group Wi
+// sends to a random chip of W-group Wi+1, saturating the single global
+// channel between adjacent groups under minimal routing.
+type WorstCase struct {
+	ChipsPerGroup int32
+	Groups        int32
+}
+
+// Name implements Pattern.
+func (w WorstCase) Name() string { return "worst-case" }
+
+// Dest implements Pattern.
+func (w WorstCase) Dest(src int32, rng *engine.RNG) int32 {
+	if w.Groups < 2 {
+		return -1
+	}
+	g := src / w.ChipsPerGroup
+	tg := (g + 1) % w.Groups
+	return tg*w.ChipsPerGroup + rng.Int31n(w.ChipsPerGroup)
+}
+
+// Ring sends to the successor chip on a logical ring over chips
+// [Base, Base+N) — the steady-state traffic of ring AllReduce. When
+// Bidirectional, each packet goes to the successor or predecessor with
+// equal probability (each direction carries half the volume).
+type Ring struct {
+	N             int32
+	Base          int32
+	Bidirectional bool
+}
+
+// Name implements Pattern.
+func (r Ring) Name() string {
+	if r.Bidirectional {
+		return "ring-bidir"
+	}
+	return "ring"
+}
+
+// Dest implements Pattern.
+func (r Ring) Dest(src int32, rng *engine.RNG) int32 {
+	if src < r.Base || src >= r.Base+r.N || r.N < 2 {
+		return -1
+	}
+	i := src - r.Base
+	if r.Bidirectional && rng.Bernoulli(0.5) {
+		return r.Base + (i-1+r.N)%r.N
+	}
+	return r.Base + (i+1)%r.N
+}
+
+// RingOrder is a ring over an explicit chip sequence (e.g. a snake order
+// that embeds the ring on physically adjacent chips of a mesh C-group, as
+// collective libraries do). Chips not in the sequence stay silent.
+type RingOrder struct {
+	Order         []int32
+	Bidirectional bool
+	pos           map[int32]int32
+}
+
+// NewRingOrder builds the ring and its position index.
+func NewRingOrder(order []int32, bidirectional bool) *RingOrder {
+	r := &RingOrder{Order: order, Bidirectional: bidirectional,
+		pos: make(map[int32]int32, len(order))}
+	for i, c := range order {
+		r.pos[c] = int32(i)
+	}
+	return r
+}
+
+// Name implements Pattern.
+func (r *RingOrder) Name() string {
+	if r.Bidirectional {
+		return "ring-ordered-bidir"
+	}
+	return "ring-ordered"
+}
+
+// Dest implements Pattern.
+func (r *RingOrder) Dest(src int32, rng *engine.RNG) int32 {
+	i, ok := r.pos[src]
+	if !ok || len(r.Order) < 2 {
+		return -1
+	}
+	n := int32(len(r.Order))
+	if r.Bidirectional && rng.Bernoulli(0.5) {
+		return r.Order[(i-1+n)%n]
+	}
+	return r.Order[(i+1)%n]
+}
+
+// Permutation wraps an arbitrary fixed chip permutation.
+type Permutation struct {
+	Map  []int32
+	Desc string
+}
+
+// Name implements Pattern.
+func (p Permutation) Name() string { return p.Desc }
+
+// Dest implements Pattern.
+func (p Permutation) Dest(src int32, rng *engine.RNG) int32 {
+	if int(src) >= len(p.Map) {
+		return -1
+	}
+	d := p.Map[src]
+	if d == src {
+		return -1
+	}
+	return d
+}
+
+// ByName constructs a standard pattern for n chips from its name.
+// Supported: uniform, bit-reverse, bit-shuffle, bit-transpose.
+func ByName(name string, n int32) (Pattern, error) {
+	switch name {
+	case "uniform":
+		return Uniform{N: n}, nil
+	case "bit-reverse", "bitreverse":
+		return BitReverse(n), nil
+	case "bit-shuffle", "bitshuffle":
+		return BitShuffle(n), nil
+	case "bit-transpose", "bittranspose":
+		return BitTranspose(n), nil
+	default:
+		return nil, fmt.Errorf("traffic: unknown pattern %q", name)
+	}
+}
+
+// Rate is an open-loop Bernoulli injection process: every injection node of
+// every chip flips a coin each cycle so that the chip's expected offered
+// load is FlitsPerChip flits/cycle, split evenly across its NodesPerChip
+// injection nodes with PacketSize-flit packets.
+type Rate struct {
+	Pattern      Pattern
+	FlitsPerChip float64
+	PacketSize   int32
+	NodesPerChip int
+	prob         float64
+}
+
+// NewRate builds the generator; it precomputes the per-node probability.
+func NewRate(p Pattern, flitsPerChip float64, packetSize int32, nodesPerChip int) *Rate {
+	r := &Rate{
+		Pattern:      p,
+		FlitsPerChip: flitsPerChip,
+		PacketSize:   packetSize,
+		NodesPerChip: nodesPerChip,
+	}
+	r.prob = flitsPerChip / float64(packetSize) / float64(nodesPerChip)
+	return r
+}
+
+// NextDest implements netsim.Generator.
+func (r *Rate) NextDest(now int64, srcChip int32, nodeIdx int, rng *engine.RNG) int32 {
+	if !rng.Bernoulli(r.prob) {
+		return -1
+	}
+	return r.Pattern.Dest(srcChip, rng)
+}
+
+var _ netsim.Generator = (*Rate)(nil)
+
+// Volume is a closed-volume generator for makespan experiments: each chip
+// sends exactly TotalFlits flits (ceil to whole packets) following the
+// pattern, as fast as injection admits, then stops. Remaining counters are
+// per (chip, node) and therefore safe under shard-parallel generation.
+type Volume struct {
+	Pattern    Pattern
+	PacketSize int32
+	remaining  [][]int64 // [chip][node] packets left
+}
+
+// NewVolume builds a volume generator for chips×nodes injection points.
+func NewVolume(p Pattern, totalFlits int64, packetSize int32, chips, nodesPerChip int) *Volume {
+	perNode := (totalFlits + int64(nodesPerChip)*int64(packetSize) - 1) /
+		(int64(nodesPerChip) * int64(packetSize))
+	v := &Volume{Pattern: p, PacketSize: packetSize}
+	v.remaining = make([][]int64, chips)
+	for c := range v.remaining {
+		v.remaining[c] = make([]int64, nodesPerChip)
+		for n := range v.remaining[c] {
+			v.remaining[c][n] = perNode
+		}
+	}
+	return v
+}
+
+// NextDest implements netsim.Generator.
+func (v *Volume) NextDest(now int64, srcChip int32, nodeIdx int, rng *engine.RNG) int32 {
+	if v.remaining[srcChip][nodeIdx] <= 0 {
+		return -1
+	}
+	d := v.Pattern.Dest(srcChip, rng)
+	if d >= 0 {
+		v.remaining[srcChip][nodeIdx]--
+	}
+	return d
+}
+
+// Done reports whether every injection point exhausted its volume.
+func (v *Volume) Done() bool {
+	for _, per := range v.remaining {
+		for _, n := range per {
+			if n > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+var _ netsim.Generator = (*Volume)(nil)

@@ -1,0 +1,246 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sldf/internal/engine"
+)
+
+func rng() *engine.RNG {
+	r := engine.NewRNG(7)
+	return &r
+}
+
+func TestUniformRange(t *testing.T) {
+	u := Uniform{N: 10}
+	r := rng()
+	for i := 0; i < 2000; i++ {
+		src := r.Int31n(10)
+		d := u.Dest(src, r)
+		if d < 0 || d >= 10 || d == src {
+			t.Fatalf("uniform dest %d for src %d", d, src)
+		}
+	}
+}
+
+func TestUniformBase(t *testing.T) {
+	u := Uniform{N: 4, Base: 8}
+	r := rng()
+	if d := u.Dest(3, r); d != -1 {
+		t.Fatalf("out-of-scope src produced dest %d", d)
+	}
+	for i := 0; i < 200; i++ {
+		d := u.Dest(9, r)
+		if d < 8 || d >= 12 || d == 9 {
+			t.Fatalf("based uniform dest %d", d)
+		}
+	}
+}
+
+func TestUniformCoverage(t *testing.T) {
+	u := Uniform{N: 8}
+	r := rng()
+	counts := make([]int, 8)
+	for i := 0; i < 40000; i++ {
+		counts[u.Dest(0, r)]++
+	}
+	if counts[0] != 0 {
+		t.Fatal("self traffic generated")
+	}
+	want := 40000.0 / 7
+	for d := 1; d < 8; d++ {
+		if math.Abs(float64(counts[d])-want) > 0.1*want {
+			t.Fatalf("dest %d count %d deviates from %f", d, counts[d], want)
+		}
+	}
+}
+
+func TestBitReverseIsInvolution(t *testing.T) {
+	p := BitReverse(16).(bitPermutation)
+	for v := 0; v < 16; v++ {
+		w := p.perm(v, p.bits)
+		if p.perm(w, p.bits) != v {
+			t.Fatalf("bit-reverse not an involution at %d", v)
+		}
+	}
+}
+
+func TestBitPermutationsArePermutations(t *testing.T) {
+	for _, mk := range []func(int32) Pattern{BitReverse, BitShuffle, BitTranspose} {
+		p := mk(32).(bitPermutation)
+		seen := map[int]bool{}
+		for v := 0; v < 32; v++ {
+			w := p.perm(v, p.bits)
+			if w < 0 || w >= 32 || seen[w] {
+				t.Fatalf("%s: perm(%d)=%d invalid or duplicate", p.name, v, w)
+			}
+			seen[w] = true
+		}
+	}
+}
+
+func TestBitPatternsNonPowerOfTwo(t *testing.T) {
+	// 41 chips: the top chips (>= 32) fall back to uniform; all dests valid.
+	r := rng()
+	for _, mk := range []func(int32) Pattern{BitReverse, BitShuffle, BitTranspose} {
+		p := mk(41)
+		for src := int32(0); src < 41; src++ {
+			for i := 0; i < 20; i++ {
+				d := p.Dest(src, r)
+				if d < -1 || d >= 41 {
+					t.Fatalf("%s: dest %d out of range", p.Name(), d)
+				}
+			}
+		}
+	}
+}
+
+func TestBitShuffleKnownValues(t *testing.T) {
+	p := BitShuffle(8).(bitPermutation)
+	// rotate-left-1 over 3 bits: 0b011 -> 0b110, 0b100 -> 0b001.
+	if got := p.perm(0b011, 3); got != 0b110 {
+		t.Fatalf("shuffle(011) = %03b", got)
+	}
+	if got := p.perm(0b100, 3); got != 0b001 {
+		t.Fatalf("shuffle(100) = %03b", got)
+	}
+}
+
+func TestBitTransposeKnownValues(t *testing.T) {
+	p := BitTranspose(16).(bitPermutation)
+	// 4 bits, halves swap: 0b0111 -> 0b1101.
+	if got := p.perm(0b0111, 4); got != 0b1101 {
+		t.Fatalf("transpose(0111) = %04b", got)
+	}
+}
+
+func TestHotspotConfinement(t *testing.T) {
+	h := Hotspot{ChipsPerGroup: 8, HotGroups: []int32{0, 1, 2, 3}}
+	r := rng()
+	for src := int32(0); src < 80; src++ {
+		d := h.Dest(src, r)
+		g := src / 8
+		if g >= 4 {
+			if d != -1 {
+				t.Fatalf("cold chip %d transmitted to %d", src, d)
+			}
+			continue
+		}
+		if d < 0 || d >= 32 {
+			t.Fatalf("hot chip %d dest %d outside hot region", src, d)
+		}
+	}
+}
+
+func TestWorstCaseNeighborGroup(t *testing.T) {
+	w := WorstCase{ChipsPerGroup: 4, Groups: 5}
+	r := rng()
+	f := func(srcRaw uint8) bool {
+		src := int32(srcRaw) % 20
+		d := w.Dest(src, r)
+		return d/4 == (src/4+1)%5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingNeighbors(t *testing.T) {
+	ring := Ring{N: 8}
+	r := rng()
+	for src := int32(0); src < 8; src++ {
+		if d := ring.Dest(src, r); d != (src+1)%8 {
+			t.Fatalf("ring dest(%d) = %d", src, d)
+		}
+	}
+	bi := Ring{N: 8, Bidirectional: true}
+	succ, pred := 0, 0
+	for i := 0; i < 2000; i++ {
+		d := bi.Dest(3, r)
+		switch d {
+		case 4:
+			succ++
+		case 2:
+			pred++
+		default:
+			t.Fatalf("bidir ring dest %d", d)
+		}
+	}
+	if succ < 800 || pred < 800 {
+		t.Fatalf("bidir split %d/%d far from even", succ, pred)
+	}
+}
+
+func TestRingWithBase(t *testing.T) {
+	ring := Ring{N: 4, Base: 12}
+	r := rng()
+	if d := ring.Dest(15, r); d != 12 {
+		t.Fatalf("ring wrap dest %d, want 12", d)
+	}
+	if d := ring.Dest(2, r); d != -1 {
+		t.Fatalf("out-of-ring src produced %d", d)
+	}
+}
+
+func TestRateExpectedLoad(t *testing.T) {
+	// rate 1.0 flits/cycle/chip, 4-flit packets, 4 nodes → p = 1/16 per node.
+	g := NewRate(Uniform{N: 16}, 1.0, 4, 4)
+	r := rng()
+	gen := 0
+	const cycles = 200000
+	for i := 0; i < cycles; i++ {
+		if g.NextDest(int64(i), 3, 1, r) >= 0 {
+			gen++
+		}
+	}
+	got := float64(gen) / cycles
+	if math.Abs(got-1.0/16) > 0.004 {
+		t.Fatalf("per-node generation rate %v, want 0.0625", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"uniform", "bit-reverse", "bit-shuffle", "bit-transpose"} {
+		p, err := ByName(name, 64)
+		if err != nil || p == nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("nope", 64); err == nil {
+		t.Fatal("unknown pattern must error")
+	}
+}
+
+func TestVolumeExhausts(t *testing.T) {
+	v := NewVolume(Ring{N: 4}, 64, 4, 4, 2) // 64 flits = 16 pkts = 8/node
+	r := rng()
+	total := 0
+	for cyc := 0; cyc < 100; cyc++ {
+		for chip := int32(0); chip < 4; chip++ {
+			for node := 0; node < 2; node++ {
+				if v.NextDest(int64(cyc), chip, node, r) >= 0 {
+					total++
+				}
+			}
+		}
+	}
+	if !v.Done() {
+		t.Fatal("volume generator not exhausted")
+	}
+	if total != 4*2*8 {
+		t.Fatalf("generated %d packets, want %d", total, 4*2*8)
+	}
+}
+
+func TestPermutationPattern(t *testing.T) {
+	p := Permutation{Map: []int32{1, 0, 3, 2}, Desc: "swap"}
+	r := rng()
+	if d := p.Dest(0, r); d != 1 {
+		t.Fatalf("perm dest %d", d)
+	}
+	if d := p.Dest(9, r); d != -1 {
+		t.Fatalf("out-of-map dest %d", d)
+	}
+}

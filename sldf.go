@@ -1,0 +1,118 @@
+// Package sldf is a cycle-accurate simulation and analysis library for the
+// Switch-Less Dragonfly on Wafers interconnection architecture (Feng & Ma,
+// SC 2024), together with the switch-based baselines the paper compares
+// against.
+//
+// The library builds four system kinds — a single non-blocking switch, a
+// standalone wafer C-group mesh, a switch-based Dragonfly, and the
+// switch-less Dragonfly on wafers — routes them with the paper's
+// minimal/non-minimal algorithms under either the baseline (Algorithm 1) or
+// reduced virtual-channel scheme, and measures latency/throughput/energy
+// under the paper's synthetic, adversarial and collective workloads.
+//
+// Quick start:
+//
+//	cfg := sldf.Config{Kind: sldf.SwitchlessDragonfly, SLDF: sldf.Radix16SLDF()}
+//	sys, err := sldf.Build(cfg)
+//	if err != nil { ... }
+//	defer sys.Close()
+//	pat, _ := sys.PatternFor("uniform")
+//	res, err := sys.MeasureLoad(pat, 0.5, sldf.DefaultSim())
+//	fmt.Println(res.Point.Latency, res.Point.Throughput)
+//
+// The analytical side of the paper is exposed through the Analysis, Cost
+// and Layout entry points (Eqs. 1–7, Table III, Fig. 9).
+package sldf
+
+import (
+	"sldf/internal/analysis"
+	"sldf/internal/core"
+	"sldf/internal/cost"
+	"sldf/internal/layout"
+	"sldf/internal/metrics"
+	"sldf/internal/routing"
+	"sldf/internal/topology"
+)
+
+// System kinds.
+const (
+	// SwitchDragonfly is the switch-based Dragonfly baseline.
+	SwitchDragonfly = core.SwitchDragonfly
+	// SwitchlessDragonfly is the paper's wafer-based architecture.
+	SwitchlessDragonfly = core.SwitchlessDragonfly
+	// SingleSwitch is one non-blocking switch with terminal chips.
+	SingleSwitch = core.SingleSwitch
+	// MeshCGroup is a standalone wafer C-group 2D mesh.
+	MeshCGroup = core.MeshCGroup
+)
+
+// Routing modes and VC schemes.
+const (
+	// Minimal is shortest-path Dragonfly routing.
+	Minimal = routing.Minimal
+	// Valiant misroutes through a random intermediate W-group.
+	Valiant = routing.Valiant
+	// BaselineVC is Algorithm 1's one-VC-per-C-group discipline.
+	BaselineVC = routing.BaselineVC
+	// ReducedVC is the paper's merged-VC scheme (one extra VC vs the
+	// traditional Dragonfly).
+	ReducedVC = routing.ReducedVC
+)
+
+// Core configuration and execution types.
+type (
+	// Config describes a system to build.
+	Config = core.Config
+	// System is a built network ready to measure.
+	System = core.System
+	// SimParams are measurement-window parameters.
+	SimParams = core.SimParams
+	// Result is one measured load point.
+	Result = core.Result
+	// Series is a labelled latency/throughput curve.
+	Series = metrics.Series
+	// Figure is a named set of curves.
+	Figure = metrics.Figure
+	// Point is one entry of a Series.
+	Point = metrics.Point
+	// SLDFParams sizes a switch-less Dragonfly.
+	SLDFParams = topology.SLDFParams
+	// DragonflyParams sizes a switch-based Dragonfly.
+	DragonflyParams = topology.DragonflyParams
+)
+
+// Build constructs the system described by cfg.
+func Build(cfg Config) (*System, error) { return core.Build(cfg) }
+
+// Sweep measures a named pattern over a list of injection rates, building a
+// fresh system per point.
+func Sweep(cfg Config, pattern string, rates []float64, sp SimParams) (Series, error) {
+	return core.Sweep(cfg, pattern, rates, sp)
+}
+
+// DefaultSim returns the paper's Table IV measurement parameters.
+func DefaultSim() SimParams { return core.DefaultSim() }
+
+// QuickSim returns CI-scale measurement parameters.
+func QuickSim() SimParams { return core.QuickSim() }
+
+// Paper system configurations.
+var (
+	// Radix16SLDF is the paper's small evaluated system (1312 chips).
+	Radix16SLDF = core.Radix16SLDF
+	// Radix16DF is its switch-based baseline.
+	Radix16DF = core.Radix16DF
+	// Radix32SLDF is the paper's large evaluated system (18560 chips).
+	Radix32SLDF = core.Radix32SLDF
+	// Radix32DF is its switch-based baseline.
+	Radix32DF = core.Radix32DF
+)
+
+// Analysis exposes the closed-form model of Sec. III-B (Eqs. 1–7).
+type Analysis = analysis.Params
+
+// TableIII returns the paper's Table III comparison rows.
+func TableIII() []cost.Row { return cost.TableIII() }
+
+// LayoutReport computes the Fig. 9 C-group feasibility numbers.
+func LayoutReport() (layout.Report, error) { return layout.PaperPlan().Analyze() }

@@ -1,0 +1,88 @@
+package sldf_test
+
+import (
+	"testing"
+
+	"sldf"
+)
+
+// Integration tests of the public facade: the workflows the README promises.
+
+func TestPublicQuickstart(t *testing.T) {
+	cfg := sldf.Config{Kind: sldf.SwitchlessDragonfly, SLDF: sldf.Radix16SLDF(), Seed: 1}
+	cfg.SLDF.G = 1
+	sys, err := sldf.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if sys.Chips != 32 {
+		t.Fatalf("chips = %d, want 32", sys.Chips)
+	}
+	pat, err := sys.PatternFor("uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.MeasureLoad(pat, 0.4, sldf.QuickSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Point.Throughput < 0.3 || res.Point.Throughput > 0.5 {
+		t.Fatalf("throughput %v at offered 0.4", res.Point.Throughput)
+	}
+}
+
+func TestPublicSweep(t *testing.T) {
+	cfg := sldf.Config{Kind: sldf.MeshCGroup, ChipletDim: 2, NoCDim: 2, Seed: 2}
+	s, err := sldf.Sweep(cfg, "uniform", []float64{0.5, 1.5, 3.0}, sldf.QuickSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 3 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	if s.Saturation(3) < 1.0 {
+		t.Fatalf("mesh C-group saturation %v too low", s.Saturation(3))
+	}
+}
+
+func TestPublicAnalytical(t *testing.T) {
+	a := sldf.Analysis{N: 12, M: 4, A: 4, B: 8, H: 17}
+	if a.Terminals() != 279040 {
+		t.Fatalf("Eq.1 N = %d", a.Terminals())
+	}
+	rows := sldf.TableIII()
+	if len(rows) != 9 {
+		t.Fatalf("Table III rows = %d", len(rows))
+	}
+	rep, err := sldf.LayoutReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible() {
+		t.Fatal("paper layout must be feasible")
+	}
+}
+
+func TestPublicModeAndScheme(t *testing.T) {
+	cfg := sldf.Config{
+		Kind:   sldf.SwitchlessDragonfly,
+		SLDF:   sldf.SLDFParams{NoCDim: 2, ChipCols: 2, ChipRows: 2, AB: 2, H: 2},
+		Mode:   sldf.Valiant,
+		Scheme: sldf.ReducedVC,
+		Seed:   3,
+	}
+	sys, err := sldf.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	pat, _ := sys.PatternFor("uniform")
+	res, err := sys.MeasureLoad(pat, 0.3, sldf.QuickSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DeliveredPkts == 0 {
+		t.Fatal("nothing delivered under valiant+reduced")
+	}
+}
