@@ -7,6 +7,7 @@
 package sldf_test
 
 import (
+	"fmt"
 	"testing"
 
 	"sldf/internal/analysis"
@@ -288,6 +289,56 @@ func BenchmarkAblationPortLayout(b *testing.B) {
 	}
 	b.ReportMetric(tp, "perimeter-flits/cyc/chip")
 	b.ReportMetric(ts, "southnorth-flits/cyc/chip")
+}
+
+// --- Campaign runner --------------------------------------------------------
+
+// BenchmarkCampaignParallel tracks the sweep/campaign layer's speedup: the
+// same multi-point single-W-group sweep run serially and with 4 concurrent
+// point jobs (each simulation single-threaded so the comparison isolates
+// the campaign fan-out). The jobs4 variant should run several times faster
+// per op than jobs1 on a multi-core machine; results are identical.
+func BenchmarkCampaignParallel(b *testing.B) {
+	cfg := core.Config{Kind: core.SwitchlessDragonfly, SLDF: core.Radix16SLDF(),
+		Seed: 1, Workers: 1}
+	cfg.SLDF.G = 1
+	rates := core.RateGrid(0.2, 1.6, 0.2)
+	for _, jobs := range []int{1, 4} {
+		b.Run(fmt.Sprintf("jobs%d", jobs), func(b *testing.B) {
+			var sat float64
+			for i := 0; i < b.N; i++ {
+				s, err := core.SweepOpts(cfg, "uniform", rates, benchSim(),
+					core.RunOptions{Jobs: jobs})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sat = s.Saturation(3)
+			}
+			b.ReportMetric(sat, "saturation")
+			b.ReportMetric(float64(len(rates)), "points")
+		})
+	}
+}
+
+// BenchmarkCampaignReset tracks the system-reuse win: measuring a load
+// point on a reset network vs paying a fresh construction per point.
+func BenchmarkCampaignReset(b *testing.B) {
+	cfg := core.Config{Kind: core.SwitchlessDragonfly, SLDF: core.Radix16SLDF(),
+		Seed: 1, Workers: 1}
+	cfg.SLDF.G = 1
+	sys, err := core.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	pat, _ := sys.PatternFor("uniform")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Reset()
+		if _, err := sys.MeasureLoad(pat, 0.8, benchSim()); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- Simulator kernel -------------------------------------------------------

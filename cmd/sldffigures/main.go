@@ -3,9 +3,10 @@
 // into -out and summarized on stdout (saturation points, peak throughputs,
 // energy bars).
 //
-//	sldffigures -quick            # CI-scale everything (minutes)
-//	sldffigures -fig 11           # only Fig. 11 at paper scale
-//	sldffigures -full -fig 12     # the 18560-chip scalability run
+//	sldffigures -quick              # CI-scale everything (minutes)
+//	sldffigures -fig 11             # only Fig. 11 at paper scale
+//	sldffigures -full -fig 12       # the 18560-chip scalability run
+//	sldffigures -jobs 8 -cache .pts # 8 concurrent points, resumable
 package main
 
 import (
@@ -16,16 +17,19 @@ import (
 	"strings"
 	"time"
 
+	"sldf/internal/campaign"
 	"sldf/internal/core"
 	"sldf/internal/metrics"
 )
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "CI-scale runs (small windows, thinner grids, radix-24 stand-in for Fig. 12)")
-		full  = flag.Bool("full", false, "force paper-scale runs (Table IV windows)")
-		fig   = flag.String("fig", "all", "which figure: 10 | 11 | 12 | 13 | 14 | 15 | all")
-		out   = flag.String("out", "figures", "output directory for CSV files")
+		quick    = flag.Bool("quick", false, "CI-scale runs (small windows, thinner grids, radix-24 stand-in for Fig. 12)")
+		full     = flag.Bool("full", false, "force paper-scale runs (Table IV windows)")
+		fig      = flag.String("fig", "all", "which figure: 10 | 11 | 12 | 13 | 14 | 15 | all")
+		out      = flag.String("out", "figures", "output directory for CSV files")
+		jobs     = flag.Int("jobs", 1, "sweep points measured concurrently (results identical for any value)")
+		cacheDir = flag.String("cache", "", "directory for the on-disk point cache (empty = off); re-runs skip already-measured points")
 	)
 	flag.Parse()
 
@@ -39,8 +43,16 @@ func main() {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatalf("%v", err)
 	}
+	opts := core.RunOptions{Jobs: *jobs}
+	if *cacheDir != "" {
+		c, err := campaign.OpenCache(*cacheDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opts.Cache = c
+	}
 
-	runners := map[string]func(core.Scale) ([]metrics.Figure, error){
+	runners := map[string]func(core.Scale, core.RunOptions) ([]metrics.Figure, error){
 		"10": core.Fig10,
 		"11": core.Fig11,
 		"12": core.Fig12,
@@ -56,7 +68,7 @@ func main() {
 			continue
 		}
 		start := time.Now()
-		figs, err := runners[id](scale)
+		figs, err := runners[id](scale, opts)
 		if err != nil {
 			fatalf("fig %s: %v", id, err)
 		}
@@ -76,7 +88,7 @@ func main() {
 
 	if want("15") {
 		start := time.Now()
-		efigs, err := core.Fig15(scale)
+		efigs, err := core.Fig15(scale, opts)
 		if err != nil {
 			fatalf("fig 15: %v", err)
 		}
@@ -95,6 +107,10 @@ func main() {
 			}
 		}
 		fmt.Printf("-- fig 15 done in %s\n", time.Since(start).Round(time.Second))
+	}
+
+	if opts.Cache != nil {
+		fmt.Fprintln(os.Stderr, opts.Cache.StatsLine())
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"os"
 	"strings"
 
+	"sldf/internal/campaign"
 	"sldf/internal/core"
 	"sldf/internal/metrics"
 	"sldf/internal/routing"
@@ -20,26 +21,34 @@ import (
 
 func main() {
 	var (
-		systems = flag.String("systems", "sw-based,sw-less", "comma-separated systems: sw-based | sw-less | sw-less-2B | sw-less-4B | switch | mesh, each with optional -mis suffix for Valiant routing")
-		size    = flag.String("size", "radix16", "scale: radix16 | radix24 | radix32")
-		pattern = flag.String("pattern", "uniform", "traffic pattern")
-		from    = flag.Float64("from", 0.1, "first injection rate")
-		to      = flag.Float64("to", 1.0, "last injection rate")
-		step    = flag.Float64("step", 0.1, "rate step")
-		groups  = flag.Int("groups", 0, "override W-group count")
-		warmup  = flag.Int64("warmup", 5000, "warmup cycles")
-		measure = flag.Int64("measure", 10000, "measured cycles")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		workers = flag.Int("workers", 0, "parallel workers")
+		systems  = flag.String("systems", "sw-based,sw-less", "comma-separated systems: sw-based | sw-less | sw-less-2B | sw-less-4B | switch | mesh, each with optional -mis suffix for Valiant routing")
+		size     = flag.String("size", "radix16", "scale: radix16 | radix24 | radix32")
+		pattern  = flag.String("pattern", "uniform", "traffic pattern")
+		from     = flag.Float64("from", 0.1, "first injection rate")
+		to       = flag.Float64("to", 1.0, "last injection rate")
+		step     = flag.Float64("step", 0.1, "rate step")
+		groups   = flag.Int("groups", 0, "override W-group count")
+		warmup   = flag.Int64("warmup", 5000, "warmup cycles")
+		measure  = flag.Int64("measure", 10000, "measured cycles")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		workers  = flag.Int("workers", 0, "parallel workers per simulation")
+		jobs     = flag.Int("jobs", 1, "sweep points measured concurrently (results identical for any value)")
+		cacheDir = flag.String("cache", "", "directory for the on-disk point cache (empty = off)")
 	)
 	flag.Parse()
 
-	var rates []float64
-	for r := *from; r <= *to+1e-9; r += *step {
-		rates = append(rates, r)
-	}
+	rates := core.RateGrid(*from, *to, *step)
 	sp := core.SimParams{Warmup: *warmup, Measure: *measure,
 		ExtraDrain: *measure / 2, PacketSize: 4}
+
+	opts := core.RunOptions{Jobs: *jobs}
+	if *cacheDir != "" {
+		c, err := campaign.OpenCache(*cacheDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opts.Cache = c
+	}
 
 	fig := metrics.Figure{Name: "sweep", Title: *pattern}
 	for _, name := range strings.Split(*systems, ",") {
@@ -50,7 +59,7 @@ func main() {
 		cfg.Seed = *seed
 		cfg.Workers = *workers
 		fmt.Fprintf(os.Stderr, "sweeping %s over %d rates...\n", name, len(rates))
-		s, err := core.Sweep(cfg, *pattern, rates, sp)
+		s, err := core.SweepOpts(cfg, *pattern, rates, sp, opts)
 		if err != nil {
 			fatalf("sweep %s: %v", name, err)
 		}
@@ -61,6 +70,9 @@ func main() {
 	for _, s := range fig.Series {
 		fmt.Fprintf(os.Stderr, "saturation(%s) ≈ %.2f flits/cycle/chip\n",
 			s.Label, s.Saturation(3))
+	}
+	if opts.Cache != nil {
+		fmt.Fprintln(os.Stderr, opts.Cache.StatsLine())
 	}
 }
 

@@ -6,6 +6,7 @@
 //	sldftables            # everything
 //	sldftables -table 3   # only Table III
 //	sldftables -fig 9     # only the layout report
+//	sldftables -sat       # simulated saturation-rate summary (quick scale)
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"os"
 
 	"sldf/internal/analysis"
+	"sldf/internal/campaign"
 	"sldf/internal/core"
 	"sldf/internal/cost"
 	"sldf/internal/layout"
@@ -22,6 +24,9 @@ import (
 func main() {
 	table := flag.String("table", "all", "which table: 1 | 2 | 3 | 4 | all")
 	figN := flag.Int("fig", 0, "also print a figure study (9 = layout)")
+	sat := flag.Bool("sat", false, "also print a simulated saturation-rate summary (single W-group, quick windows)")
+	jobs := flag.Int("jobs", 0, "sweep points measured concurrently for -sat (0 = all points at once)")
+	cacheDir := flag.String("cache", "", "directory for the -sat on-disk point cache (empty = off)")
 	flag.Parse()
 
 	want := func(id string) bool { return *table == "all" || *table == id }
@@ -94,4 +99,58 @@ func main() {
 		fmt.Printf("%-32s %d (paper: 192)\n", "wafer IO channels (4 CG, k=48)", r.WaferIOChannels)
 		fmt.Printf("%-32s %v\n", "feasible", r.Feasible())
 	}
+
+	if *sat {
+		if err := saturationSummary(*jobs, *cacheDir); err != nil {
+			fmt.Fprintf(os.Stderr, "sldftables: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// saturationSummary measures saturation rates of the radix-16 systems
+// confined to one W-group under uniform and bit-reverse traffic, fanning
+// the sweep points out over the campaign runner.
+func saturationSummary(jobs int, cacheDir string) error {
+	opts := core.RunOptions{Jobs: jobs}
+	if jobs <= 0 {
+		opts.Jobs = 16
+	}
+	if cacheDir != "" {
+		c, err := campaign.OpenCache(cacheDir)
+		if err != nil {
+			return err
+		}
+		opts.Cache = c
+	}
+	swb := core.Config{Kind: core.SwitchDragonfly, DF: core.Radix16DF(), Seed: 1, Workers: 1}
+	swb.DF.G = 1
+	swl := core.Config{Kind: core.SwitchlessDragonfly, SLDF: core.Radix16SLDF(), Seed: 1, Workers: 1}
+	swl.SLDF.G = 1
+	swl2 := swl
+	swl2.IntraWidth = 2
+	patterns := []string{"uniform", "bit-reverse"}
+	rates := core.RateGrid(0.2, 2.0, 0.2)
+
+	fmt.Println("SATURATION — single W-group, quick windows, latency-knee criterion")
+	fmt.Printf("%-14s", "system")
+	for _, p := range patterns {
+		fmt.Printf("%14s", p)
+	}
+	fmt.Println()
+	for _, cfg := range []core.Config{swb, swl, swl2} {
+		fmt.Printf("%-14s", cfg.Label())
+		for _, p := range patterns {
+			s, err := core.SweepOpts(cfg, p, rates, core.QuickSim(), opts)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", cfg.Label(), p, err)
+			}
+			fmt.Printf("%14.2f", s.Saturation(3))
+		}
+		fmt.Println()
+	}
+	if opts.Cache != nil {
+		fmt.Fprintln(os.Stderr, opts.Cache.StatsLine())
+	}
+	return nil
 }

@@ -1,0 +1,3 @@
+module sldf
+
+go 1.24

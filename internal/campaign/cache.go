@@ -1,0 +1,121 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"sldf/internal/metrics"
+)
+
+// Cache is an on-disk store of measured load points keyed by an opaque
+// string covering everything that determines the result (config hash,
+// pattern, rate, simulation parameters). One small JSON file per point
+// keeps the format inspectable and the writes atomic (temp + rename), and
+// the stored key is verified on read so a hash collision can never replay
+// the wrong point.
+type Cache struct {
+	dir      string
+	mu       sync.Mutex
+	hits     atomic.Int64
+	misses   atomic.Int64
+	putFails atomic.Int64
+}
+
+// cacheEntry is the on-disk record for one point.
+type cacheEntry struct {
+	Key   string        `json:"key"`
+	Point metrics.Point `json:"point"`
+}
+
+// OpenCache opens (creating if needed) a point cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+func (c *Cache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:12])+".json")
+}
+
+// Get returns the cached point for key, if present.
+func (c *Cache) Get(key string) (metrics.Point, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.misses.Add(1)
+		return metrics.Point{}, false
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil || e.Key != key {
+		c.misses.Add(1)
+		return metrics.Point{}, false
+	}
+	c.hits.Add(1)
+	return e.Point, true
+}
+
+// Put stores the point for key, overwriting any previous entry. Failures
+// are additionally counted (see PutFails) so callers may treat a failed
+// write as non-fatal without losing the signal entirely.
+func (c *Cache) Put(key string, pt metrics.Point) (err error) {
+	defer func() {
+		if err != nil {
+			c.putFails.Add(1)
+		}
+	}()
+	data, err := json.Marshal(cacheEntry{Key: key, Point: pt})
+	if err != nil {
+		return fmt.Errorf("campaign: encode cache entry: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tmp, err := os.CreateTemp(c.dir, "point-*.tmp")
+	if err != nil {
+		return fmt.Errorf("campaign: write cache entry: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: write cache entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: write cache entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: write cache entry: %w", err)
+	}
+	return nil
+}
+
+// Hits returns the number of successful lookups so far.
+func (c *Cache) Hits() int64 { return c.hits.Load() }
+
+// Misses returns the number of failed lookups so far.
+func (c *Cache) Misses() int64 { return c.misses.Load() }
+
+// PutFails returns the number of failed writes so far.
+func (c *Cache) PutFails() int64 { return c.putFails.Load() }
+
+// StatsLine formats the end-of-run counters for CLI reporting.
+func (c *Cache) StatsLine() string {
+	line := fmt.Sprintf("cache: %d hits, %d misses (%s)", c.Hits(), c.Misses(), c.dir)
+	if n := c.PutFails(); n > 0 {
+		line += fmt.Sprintf(" — %d writes FAILED", n)
+	}
+	return line
+}

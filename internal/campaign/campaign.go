@@ -1,0 +1,154 @@
+// Package campaign schedules sweep measurement jobs across worker
+// goroutines. Each job is an independent measurement (one system, pattern
+// and injection rate) whose result slot is fixed up front, so the assembled
+// output is bitwise identical no matter how many workers run the jobs or in
+// what order they finish. Workers carry a small keyed store that jobs use to
+// reuse expensive state (a built network is reset between points instead of
+// rebuilt), and an optional on-disk cache lets a re-run skip points that
+// were already measured.
+package campaign
+
+import (
+	"sync"
+
+	"sldf/internal/metrics"
+)
+
+// Job is one schedulable measurement producing a single load point.
+type Job struct {
+	// Key identifies the point for the on-disk cache; an empty key disables
+	// caching for this job. Two jobs with equal keys must produce equal
+	// points (the key must cover every input that affects the result).
+	Key string
+	// Run performs the measurement. The worker is owned by a single
+	// goroutine for the worker's lifetime, so Run may freely mutate state
+	// cached on it.
+	Run func(w *Worker) (metrics.Point, error)
+}
+
+// Worker is the per-goroutine context passed to jobs: a keyed store for
+// state that is expensive to construct and can be reused across the jobs
+// that happen to land on the same worker.
+type Worker struct {
+	state map[string]any
+}
+
+// Cached returns the value stored under key, if any.
+func (w *Worker) Cached(key string) (any, bool) {
+	v, ok := w.state[key]
+	return v, ok
+}
+
+// Store saves a value under key. Values implementing Close() are closed
+// when the campaign run finishes.
+func (w *Worker) Store(key string, v any) {
+	if w.state == nil {
+		w.state = map[string]any{}
+	}
+	w.state[key] = v
+}
+
+// close releases every stored value that knows how to release itself.
+func (w *Worker) close() {
+	for _, v := range w.state {
+		if c, ok := v.(interface{ Close() }); ok {
+			c.Close()
+		}
+	}
+	w.state = nil
+}
+
+// Options configure a campaign run.
+type Options struct {
+	// Jobs is the number of concurrent measurement jobs; values <= 1 run
+	// serially on the calling goroutine.
+	Jobs int
+	// Cache, when non-nil, is consulted before and updated after every job
+	// with a non-empty Key.
+	Cache *Cache
+}
+
+// Run executes the jobs and returns their points indexed like the input.
+// On error the returned slice still has len(jobs) but slots whose jobs did
+// not complete are zero; the error reported is the failing job with the
+// lowest index among those that ran.
+func Run(jobs []Job, opts Options) ([]metrics.Point, error) {
+	points := make([]metrics.Point, len(jobs))
+	if len(jobs) == 0 {
+		return points, nil
+	}
+
+	workers := opts.Jobs
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		w := &Worker{}
+		defer w.close()
+		for i := range jobs {
+			if err := runOne(&jobs[i], w, opts.Cache, &points[i]); err != nil {
+				return points, err
+			}
+		}
+		return points, nil
+	}
+
+	var (
+		idx      = make(chan int)
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = len(jobs)
+		failed   bool
+	)
+	for n := 0; n < workers; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := &Worker{}
+			defer w.close()
+			for i := range idx {
+				mu.Lock()
+				stop := failed
+				mu.Unlock()
+				if stop {
+					continue
+				}
+				if err := runOne(&jobs[i], w, opts.Cache, &points[i]); err != nil {
+					mu.Lock()
+					if !failed || i < errIdx {
+						firstErr, errIdx, failed = err, i, true
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return points, firstErr
+}
+
+// runOne executes a single job through the cache.
+func runOne(j *Job, w *Worker, cache *Cache, out *metrics.Point) error {
+	if j.Key != "" && cache != nil {
+		if pt, ok := cache.Get(j.Key); ok {
+			*out = pt
+			return nil
+		}
+	}
+	pt, err := j.Run(w)
+	if err != nil {
+		return err
+	}
+	*out = pt
+	if j.Key != "" && cache != nil {
+		// A failed cache write must not discard a successfully measured
+		// point; the cache counts the failure for end-of-run reporting.
+		_ = cache.Put(j.Key, pt)
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"sldf/internal/metrics"
 	"sldf/internal/routing"
@@ -28,22 +29,13 @@ func (s Scale) Sim() SimParams {
 	return SimParams{Warmup: 600, Measure: 1200, ExtraDrain: 600, PacketSize: 4}
 }
 
-// grid builds an inclusive rate grid.
-func grid(lo, hi, step float64) []float64 {
-	var out []float64
-	for r := lo; r <= hi+1e-9; r += step {
-		out = append(out, r)
-	}
-	return out
-}
-
 // rates returns a figure's x-axis for the scale: the paper grid, or a
 // thinned version for quick runs.
 func (s Scale) rates(lo, hi, step float64) []float64 {
 	if s == ScalePaper {
-		return grid(lo, hi, step)
+		return RateGrid(lo, hi, step)
 	}
-	return grid(lo, hi, step*2)
+	return RateGrid(lo, hi, step*2)
 }
 
 const seed = 0x5EEDF00D
@@ -51,7 +43,7 @@ const seed = 0x5EEDF00D
 // Fig10 reproduces Fig. 10: (a,b) intra-C-group switch vs 2D-mesh under
 // uniform and bit-reverse; (c-f) intra-W-group SW-based vs SW-less vs
 // SW-less-2B under uniform, bit-reverse, bit-shuffle and bit-transpose.
-func Fig10(scale Scale) ([]metrics.Figure, error) {
+func Fig10(scale Scale, opts RunOptions) ([]metrics.Figure, error) {
 	sp := scale.Sim()
 	var figs []metrics.Figure
 
@@ -71,7 +63,7 @@ func Fig10(scale Scale) ([]metrics.Figure, error) {
 			{Kind: SingleSwitch, Terminals: 4, Seed: seed},
 			{Kind: MeshCGroup, ChipletDim: 2, NoCDim: 2, Seed: seed},
 		} {
-			s, err := Sweep(cfg, f.pattern, scale.rates(f.lo, f.hi, f.step), sp)
+			s, err := SweepOpts(cfg, f.pattern, scale.rates(f.lo, f.hi, f.step), sp, opts)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", f.name, err)
 			}
@@ -100,7 +92,7 @@ func Fig10(scale Scale) ([]metrics.Figure, error) {
 		fig := metrics.Figure{Name: f.name, Title: f.title,
 			XLabel: "Injection Rate (flits/cycle/chip)", YLabel: "Average Latency (cycles)"}
 		for _, cfg := range []Config{swb, swl, swl2} {
-			s, err := Sweep(cfg, f.pattern, scale.rates(f.lo, f.hi, f.step), sp)
+			s, err := SweepOpts(cfg, f.pattern, scale.rates(f.lo, f.hi, f.step), sp, opts)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", f.name, err)
 			}
@@ -113,7 +105,7 @@ func Fig10(scale Scale) ([]metrics.Figure, error) {
 
 // Fig11 reproduces Fig. 11: global performance of the full radix-16 system
 // (41 W-groups, 1312 chips) under uniform and bit-reverse traffic.
-func Fig11(scale Scale) ([]metrics.Figure, error) {
+func Fig11(scale Scale, opts RunOptions) ([]metrics.Figure, error) {
 	sp := scale.Sim()
 	swb := Config{Kind: SwitchDragonfly, DF: Radix16DF(), Seed: seed}
 	swl := Config{Kind: SwitchlessDragonfly, SLDF: Radix16SLDF(), Seed: seed}
@@ -131,7 +123,7 @@ func Fig11(scale Scale) ([]metrics.Figure, error) {
 		fig := metrics.Figure{Name: f.name, Title: f.title,
 			XLabel: "Injection Rate (flits/cycle/chip)", YLabel: "Average Latency (cycles)"}
 		for _, cfg := range []Config{swb, swl, swl2} {
-			s, err := Sweep(cfg, f.pattern, scale.rates(f.lo, f.hi, f.step), sp)
+			s, err := SweepOpts(cfg, f.pattern, scale.rates(f.lo, f.hi, f.step), sp, opts)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", f.name, err)
 			}
@@ -146,7 +138,7 @@ func Fig11(scale Scale) ([]metrics.Figure, error) {
 // (intra-W-group traffic on the full network) and global performance.
 // ScalePaper uses the radix-32 system (18560 chips); ScaleQuick a radix-24
 // stand-in (6120 chips) with the same structure.
-func Fig12(scale Scale) ([]metrics.Figure, error) {
+func Fig12(scale Scale, opts RunOptions) ([]metrics.Figure, error) {
 	sp := scale.Sim()
 	var dfP = Radix24DF()
 	var slP = Radix24SLDF()
@@ -179,7 +171,7 @@ func Fig12(scale Scale) ([]metrics.Figure, error) {
 		mk := func(sys *System) traffic.Pattern {
 			return traffic.Uniform{N: int32(sys.ChipsPerGroup)}
 		}
-		s, err := SweepScoped(cfg, mk, "", localRates, sp)
+		s, err := SweepScopedOpts(cfg, mk, "", "local-uniform-wgroup", localRates, sp, opts)
 		if err != nil {
 			return nil, fmt.Errorf("fig12a: %w", err)
 		}
@@ -191,7 +183,7 @@ func Fig12(scale Scale) ([]metrics.Figure, error) {
 	figB := metrics.Figure{Name: "fig12b", Title: "Scalability: Global Uniform",
 		XLabel: "Injection Rate (flits/cycle/chip)", YLabel: "Average Latency (cycles)"}
 	for _, cfg := range []Config{swb, swl, swl2, swl4} {
-		s, err := Sweep(cfg, "uniform", globalRates, sp)
+		s, err := SweepOpts(cfg, "uniform", globalRates, sp, opts)
 		if err != nil {
 			return nil, fmt.Errorf("fig12b: %w", err)
 		}
@@ -204,7 +196,7 @@ func Fig12(scale Scale) ([]metrics.Figure, error) {
 // Fig13 reproduces Fig. 13: adversarial traffic (hotspot over 4 W-groups
 // and the worst-case Wi→Wi+1 pattern) under minimal vs non-minimal routing
 // on the radix-16 system.
-func Fig13(scale Scale) ([]metrics.Figure, error) {
+func Fig13(scale Scale, opts RunOptions) ([]metrics.Figure, error) {
 	sp := scale.Sim()
 	mk := func(mode routing.Mode, kind SystemKind, width int32) Config {
 		c := Config{Kind: kind, Seed: seed, Mode: mode, IntraWidth: width}
@@ -234,7 +226,7 @@ func Fig13(scale Scale) ([]metrics.Figure, error) {
 		fig := metrics.Figure{Name: f.name, Title: f.title,
 			XLabel: "Injection Rate (flits/cycle/chip)", YLabel: "Average Latency (cycles)"}
 		for _, cfg := range cfgs {
-			s, err := Sweep(cfg, f.pattern, scale.rates(f.lo, f.hi, f.step), sp)
+			s, err := SweepOpts(cfg, f.pattern, scale.rates(f.lo, f.hi, f.step), sp, opts)
 			if err != nil {
 				return nil, fmt.Errorf("%s(%s): %w", f.name, f.pattern, err)
 			}
@@ -247,7 +239,7 @@ func Fig13(scale Scale) ([]metrics.Figure, error) {
 
 // Fig14 reproduces Fig. 14: ring-AllReduce traffic within a C-group (a) and
 // within a W-group (b), with unidirectional and bidirectional rings.
-func Fig14(scale Scale) ([]metrics.Figure, error) {
+func Fig14(scale Scale, opts RunOptions) ([]metrics.Figure, error) {
 	sp := scale.Sim()
 	var figs []metrics.Figure
 
@@ -266,7 +258,7 @@ func Fig14(scale Scale) ([]metrics.Figure, error) {
 		{swbA, "ring-bidir", "sw-based-bi"},
 		{swlA, "ring-bidir", "sw-less-bi"},
 	} {
-		s, err := Sweep(c.cfg, c.pattern, scale.rates(0.4, 4.0, 0.4), sp)
+		s, err := SweepOpts(c.cfg, c.pattern, scale.rates(0.4, 4.0, 0.4), sp, opts)
 		if err != nil {
 			return nil, fmt.Errorf("fig14a: %w", err)
 		}
@@ -295,7 +287,7 @@ func Fig14(scale Scale) ([]metrics.Figure, error) {
 		{swlB, "ring-bidir", "sw-less-bi"},
 		{swlB2, "ring-bidir", "sw-less-bi-2B"},
 	} {
-		s, err := Sweep(c.cfg, c.pattern, scale.rates(0.2, 2.0, 0.2), sp)
+		s, err := SweepOpts(c.cfg, c.pattern, scale.rates(0.2, 2.0, 0.2), sp, opts)
 		if err != nil {
 			return nil, fmt.Errorf("fig14b: %w", err)
 		}
@@ -328,13 +320,19 @@ type EnergyFigure struct {
 // non-minimal routing on the small (radix-16) and large system, measured
 // from delivered-packet hop traces under uniform traffic priced with the
 // paper's simplified intra-C-group model (Sec. V-C).
-func Fig15(scale Scale) ([]EnergyFigure, error) {
+func Fig15(scale Scale, opts RunOptions) ([]EnergyFigure, error) {
 	sp := scale.Sim()
 	rate := 0.3
 
+	// Energy bars need the raw hop mix (Result.Stats), but campaign.Job
+	// produces metrics.Point results, so Fig. 15 fans its independent
+	// bars out over opts.Jobs goroutines directly. Each bar builds its
+	// own system, so results are identical for any job count. If another
+	// experiment ever needs a non-Point fan-out, generalize the campaign
+	// scheduler's result type instead of copying this block.
 	run := func(name, title string, df Config, sl Config) (EnergyFigure, error) {
 		fig := EnergyFigure{Name: name, Title: title}
-		for _, c := range []struct {
+		cases := []struct {
 			cfg   Config
 			label string
 		}{
@@ -342,27 +340,51 @@ func Fig15(scale Scale) ([]EnergyFigure, error) {
 			{sl, "sw-less"},
 			{withMode(df, routing.Valiant), "sw-based-mis"},
 			{withMode(sl, routing.Valiant), "sw-less-mis"},
-		} {
-			sys, err := Build(c.cfg)
-			if err != nil {
-				return fig, err
-			}
-			pat, err := sys.PatternFor("uniform")
-			if err != nil {
-				sys.Close()
-				return fig, err
-			}
-			res, err := sys.MeasureLoad(pat, rate, sp)
-			sys.Close()
-			if err != nil {
-				return fig, err
-			}
-			st := res.Stats
-			// Simplified pricing: every intra-C-group hop ≈ 1 pJ/bit.
-			intra := st.MeanHops(0)*1 + st.MeanHops(1)*1
-			inter := st.MeanHops(2)*20 + st.MeanHops(3)*20
-			fig.Bars = append(fig.Bars, EnergyBar{Label: c.label, Intra: intra, Inter: inter})
 		}
+		bars := make([]EnergyBar, len(cases))
+		errs := make([]error, len(cases))
+		jobs := opts.Jobs
+		if jobs < 1 {
+			jobs = 1
+		}
+		sem := make(chan struct{}, jobs)
+		var wg sync.WaitGroup
+		for i, c := range cases {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				sys, err := Build(c.cfg)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				defer sys.Close()
+				pat, err := sys.PatternFor("uniform")
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				res, err := sys.MeasureLoad(pat, rate, sp)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				st := res.Stats
+				// Simplified pricing: every intra-C-group hop ≈ 1 pJ/bit.
+				intra := st.MeanHops(0)*1 + st.MeanHops(1)*1
+				inter := st.MeanHops(2)*20 + st.MeanHops(3)*20
+				bars[i] = EnergyBar{Label: c.label, Intra: intra, Inter: inter}
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return fig, err
+			}
+		}
+		fig.Bars = bars
 		return fig, nil
 	}
 

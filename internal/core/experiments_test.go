@@ -10,7 +10,7 @@ import (
 // qualitative results on the produced series.
 
 func TestFig10Runner(t *testing.T) {
-	figs, err := Fig10(ScaleQuick)
+	figs, err := Fig10(ScaleQuick, RunOptions{Jobs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestFig10Runner(t *testing.T) {
 }
 
 func TestFig14Runner(t *testing.T) {
-	figs, err := Fig14(ScaleQuick)
+	figs, err := Fig14(ScaleQuick, RunOptions{Jobs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestFig14Runner(t *testing.T) {
 }
 
 func TestGridHelpers(t *testing.T) {
-	g := grid(0.1, 0.5, 0.1)
+	g := RateGrid(0.1, 0.5, 0.1)
 	if len(g) != 5 {
 		t.Fatalf("grid = %v", g)
 	}

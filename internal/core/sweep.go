@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"sldf/internal/campaign"
+	"sldf/internal/metrics"
+	"sldf/internal/routing"
+	"sldf/internal/traffic"
+)
+
+// RunOptions configure how a sweep's load points are executed.
+type RunOptions struct {
+	// Jobs is the number of measurement points run concurrently (<= 1 runs
+	// serially). Results are bitwise identical for any value: every point
+	// starts from an identical just-built network state and has its result
+	// slot fixed up front.
+	Jobs int
+	// Cache, when non-nil, skips points already measured with an identical
+	// (config, pattern, rate, sim-params) key and records new ones.
+	Cache *campaign.Cache
+}
+
+// RateGrid returns the inclusive grid lo, lo+step, ..., hi using integer
+// stepping, so accumulated floating-point error cannot drop or duplicate
+// the final rate point the way a `for r := lo; r <= hi; r += step` loop
+// can. A hi that does not lie on the grid is truncated to the last on-grid
+// point below it.
+func RateGrid(lo, hi, step float64) []float64 {
+	if step <= 0 || hi < lo {
+		return nil
+	}
+	n := int(math.Floor((hi-lo)/step + 0.5))
+	if float64(n)*step > hi-lo+step*1e-6 {
+		n--
+	}
+	out := make([]float64, n+1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}
+
+// Label returns the series label that Build assigns to a system built from
+// this configuration, without building it. Sweeps use it so that a fully
+// cached series never needs a network construction.
+func (c Config) Label() string {
+	switch c.Kind {
+	case SingleSwitch:
+		return "switch"
+	case MeshCGroup:
+		return "2d-mesh"
+	case SwitchDragonfly:
+		label := "sw-based"
+		if c.Mode == routing.Valiant {
+			label += "-mis"
+		}
+		return label
+	case SwitchlessDragonfly:
+		label := "sw-less"
+		if c.IntraWidth > 1 {
+			label += fmt.Sprintf("-%dB", c.IntraWidth)
+		}
+		scheme := c.Scheme
+		switch c.Mode {
+		case routing.Valiant:
+			label += "-mis"
+		case routing.ValiantLower:
+			label += "-mis-lower"
+			// Build forces the reduced scheme for the restricted-lower mode.
+			scheme = routing.ReducedVC
+		case routing.Adaptive:
+			label += "-ugal"
+		}
+		if scheme == routing.ReducedVC {
+			label += "-rvc"
+		}
+		return label
+	}
+	return "unknown"
+}
+
+// cacheID canonically serializes every configuration field that affects
+// measured results. Workers and WatchdogCycles are deliberately excluded:
+// they change how a simulation executes, never what it measures.
+func (c Config) cacheID() string {
+	return fmt.Sprintf("kind=%d df=%+v sldf=%+v term=%d chiplet=%d noc=%d scheme=%d mode=%d width=%d seed=%#x",
+		c.Kind, c.DF, c.SLDF, c.Terminals, c.ChipletDim, c.NoCDim,
+		c.Scheme, c.Mode, c.IntraWidth, c.Seed)
+}
+
+// pointKey is the on-disk cache key for one measured load point.
+func pointKey(cfg Config, patternKey string, rate float64, sp SimParams) string {
+	return fmt.Sprintf("%s|pat=%s|rate=%.17g|sim=%+v", cfg.cacheID(), patternKey, rate, sp)
+}
+
+// Sweep measures a series of load points for a named traffic pattern,
+// running them serially without a cache. See SweepOpts.
+func Sweep(cfg Config, patternName string, rates []float64, sp SimParams) (metrics.Series, error) {
+	return SweepOpts(cfg, patternName, rates, sp, RunOptions{})
+}
+
+// SweepOpts measures a series of load points for a named traffic pattern
+// under the given execution options. Each point starts from an identical
+// just-built network state: a worker builds the system once and resets it
+// between its points, so the series equals the historical build-per-point
+// output for any worker count.
+func SweepOpts(cfg Config, patternName string, rates []float64, sp SimParams, opts RunOptions) (metrics.Series, error) {
+	mk := func(sys *System) (traffic.Pattern, error) { return sys.PatternFor(patternName) }
+	return runSeries(cfg, mk, cfg.Label(), patternName, rates, sp, opts)
+}
+
+// SweepScoped is Sweep with a caller-supplied pattern factory, for traffic
+// confined to a subset of chips (e.g. one W-group of a large system). It
+// runs serially without a cache; see SweepScopedOpts.
+func SweepScoped(cfg Config, mkPattern func(*System) traffic.Pattern, label string, rates []float64, sp SimParams) (metrics.Series, error) {
+	return SweepScopedOpts(cfg, mkPattern, label, "", rates, sp, RunOptions{})
+}
+
+// SweepScopedOpts is SweepOpts with a caller-supplied pattern factory.
+// patternKey names the factory's pattern for the result cache; it must
+// uniquely identify the pattern given the configuration (the factory may
+// only depend on cfg-derived system properties). An empty patternKey
+// disables caching for the sweep. An empty label takes the config's label.
+func SweepScopedOpts(cfg Config, mkPattern func(*System) traffic.Pattern, label, patternKey string, rates []float64, sp SimParams, opts RunOptions) (metrics.Series, error) {
+	if label == "" {
+		label = cfg.Label()
+	}
+	mk := func(sys *System) (traffic.Pattern, error) { return mkPattern(sys), nil }
+	return runSeries(cfg, mk, label, patternKey, rates, sp, opts)
+}
+
+// runSeries fans the rate points out as campaign jobs and assembles the
+// series in rate order.
+func runSeries(cfg Config, mkPattern func(*System) (traffic.Pattern, error), label, patternKey string, rates []float64, sp SimParams, opts RunOptions) (metrics.Series, error) {
+	series := metrics.Series{Label: label}
+	sysKey := cfg.cacheID()
+	jobs := make([]campaign.Job, len(rates))
+	for i, rate := range rates {
+		var key string
+		if patternKey != "" {
+			key = pointKey(cfg, patternKey, rate, sp)
+		}
+		jobs[i] = campaign.Job{
+			Key: key,
+			Run: func(w *campaign.Worker) (metrics.Point, error) {
+				sys, err := workerSystem(w, sysKey, cfg)
+				if err != nil {
+					return metrics.Point{}, err
+				}
+				pat, err := mkPattern(sys)
+				if err != nil {
+					return metrics.Point{}, err
+				}
+				res, err := sys.MeasureLoad(pat, rate, sp)
+				if err != nil {
+					return metrics.Point{}, err
+				}
+				return res.Point, nil
+			},
+		}
+	}
+	pts, err := campaign.Run(jobs, campaign.Options{Jobs: opts.Jobs, Cache: opts.Cache})
+	if err != nil {
+		return series, err
+	}
+	series.Points = pts
+	return series, nil
+}
+
+// workerSystem returns a worker-local system for cfg, building on first use
+// and resetting to the just-built state on reuse. The campaign worker owns
+// the system and closes it (releasing its goroutine pool) when the run
+// finishes, on success and error paths alike.
+func workerSystem(w *campaign.Worker, key string, cfg Config) (*System, error) {
+	if v, ok := w.Cached(key); ok {
+		sys := v.(*System)
+		sys.Reset()
+		return sys, nil
+	}
+	sys, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w.Store(key, sys)
+	return sys, nil
+}

@@ -48,7 +48,6 @@ func Build(cfg Config) (*System, error) {
 		}
 		s.Net.SetRoute(s.Route())
 		sys.Net = s.Net
-		sys.Label = "switch"
 		sys.Groups = 1
 
 	case MeshCGroup:
@@ -59,7 +58,6 @@ func Build(cfg Config) (*System, error) {
 		}
 		g.Net.SetRoute(g.RouteXY())
 		sys.Net = g.Net
-		sys.Label = "2d-mesh"
 		sys.Groups = 1
 
 	case SwitchDragonfly:
@@ -76,10 +74,6 @@ func Build(cfg Config) (*System, error) {
 		df.Net.SetRoute(route)
 		sys.Net = df.Net
 		sys.DF = df
-		sys.Label = "sw-based"
-		if cfg.Mode == routing.Valiant {
-			sys.Label += "-mis"
-		}
 		sys.Groups = cfg.DF.Groups()
 
 	case SwitchlessDragonfly:
@@ -104,27 +98,13 @@ func Build(cfg Config) (*System, error) {
 		sr.Install(s.Net)
 		sys.Net = s.Net
 		sys.SLDF = s
-		sys.Label = "sw-less"
-		if width > 1 {
-			sys.Label += fmt.Sprintf("-%dB", width)
-		}
-		switch cfg.Mode {
-		case routing.Valiant:
-			sys.Label += "-mis"
-		case routing.ValiantLower:
-			sys.Label += "-mis-lower"
-		case routing.Adaptive:
-			sys.Label += "-ugal"
-		}
-		if cfg.Scheme == routing.ReducedVC {
-			sys.Label += "-rvc"
-		}
 		sys.Groups = params.Groups()
 
 	default:
 		return nil, fmt.Errorf("core: unknown system kind %d", cfg.Kind)
 	}
 
+	sys.Label = cfg.Label()
 	sys.Chips = sys.Net.NumChips()
 	sys.NodesPerChip = len(sys.Net.ChipNodes[0])
 	sys.ChipsPerGroup = sys.Chips / sys.Groups
@@ -133,6 +113,13 @@ func Build(cfg Config) (*System, error) {
 
 // Close releases the system's worker pool.
 func (s *System) Close() { s.Net.Close() }
+
+// Reset returns the system to its just-built state — empty network, full
+// credit buffers, RNG streams re-derived from the seed — so one
+// construction can serve every load point of a series. A measurement on a
+// reset system is bitwise identical to one on a fresh Build of the same
+// configuration.
+func (s *System) Reset() { s.Net.Reset() }
 
 // Result is one measured load point with its raw statistics and the
 // Table II energy pricing of the observed hop mix.
@@ -230,51 +217,3 @@ func (s *System) ringPattern(bidir bool) traffic.Pattern {
 	return traffic.Ring{N: int32(s.Chips), Bidirectional: bidir}
 }
 
-// Sweep measures a series of load points, building a fresh system per
-// point so that every measurement starts from an empty network.
-func Sweep(cfg Config, patternName string, rates []float64, sp SimParams) (metrics.Series, error) {
-	var series metrics.Series
-	for _, rate := range rates {
-		sys, err := Build(cfg)
-		if err != nil {
-			return series, err
-		}
-		if series.Label == "" {
-			series.Label = sys.Label
-		}
-		pat, err := sys.PatternFor(patternName)
-		if err != nil {
-			sys.Close()
-			return series, err
-		}
-		res, err := sys.MeasureLoad(pat, rate, sp)
-		sys.Close()
-		if err != nil {
-			return series, err
-		}
-		series.Points = append(series.Points, res.Point)
-	}
-	return series, nil
-}
-
-// SweepScoped is Sweep with a caller-supplied pattern factory, for traffic
-// confined to a subset of chips (e.g. one W-group of a large system).
-func SweepScoped(cfg Config, mkPattern func(*System) traffic.Pattern, label string, rates []float64, sp SimParams) (metrics.Series, error) {
-	series := metrics.Series{Label: label}
-	for _, rate := range rates {
-		sys, err := Build(cfg)
-		if err != nil {
-			return series, err
-		}
-		if series.Label == "" {
-			series.Label = sys.Label
-		}
-		res, err := sys.MeasureLoad(mkPattern(sys), rate, sp)
-		sys.Close()
-		if err != nil {
-			return series, err
-		}
-		series.Points = append(series.Points, res.Point)
-	}
-	return series, nil
-}

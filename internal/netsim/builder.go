@@ -72,13 +72,14 @@ func (b *Builder) Connect(src, dst NodeID, spec LinkSpec) (outPort, inPort int) 
 		return 0, 0
 	}
 	l := &Link{
-		ID:    int32(len(b.links)),
-		Src:   src,
-		Dst:   dst,
-		Delay: spec.Delay,
-		Width: spec.Width,
-		Class: spec.Class,
-		VCs:   spec.VCs,
+		ID:       int32(len(b.links)),
+		Src:      src,
+		Dst:      dst,
+		Delay:    spec.Delay,
+		Width:    spec.Width,
+		Class:    spec.Class,
+		VCs:      spec.VCs,
+		BufFlits: spec.BufFlits,
 	}
 	b.links = append(b.links, l)
 

@@ -111,6 +111,9 @@ type Link struct {
 	Width int32  // flits per cycle (bandwidth)
 	Class HopClass
 	VCs   uint8 // virtual channels on the downstream input port
+	// BufFlits is the downstream buffer depth per VC; Reset restores the
+	// upstream credit counters to this value.
+	BufFlits int32
 	// SrcPort/DstPort are the port indices on the endpoint routers.
 	SrcPort int16
 	DstPort int16

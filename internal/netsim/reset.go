@@ -1,0 +1,67 @@
+package netsim
+
+import "sldf/internal/engine"
+
+// Reset restores the network to its just-finalized state: cycle zero, empty
+// router queues and link pipelines, full credit buffers, per-router RNG
+// streams re-derived from the seed, and all statistics cleared. The
+// installed routing function, pre-allocate hook and worker pool are kept,
+// while the traffic generator is removed (as after Finalize). A reset
+// network behaves bitwise identically to a freshly built one, which lets a
+// sweep reuse one construction for every load point of a series. Packets
+// still in flight are discarded; per-shard free lists are kept so their
+// buffers are recycled.
+func (n *Network) Reset() {
+	for i := range n.Routers {
+		r := &n.Routers[i]
+		for in := range r.In {
+			ip := &r.In[in]
+			ip.busyUntil = 0
+			ip.occMask = 0
+			for vc := range ip.VCs {
+				ip.VCs[vc].clear()
+			}
+		}
+		for o := range r.Out {
+			op := &r.Out[o]
+			op.busyUntil = 0
+			op.rr = 0
+			if op.Link != nil {
+				for vc := range op.Credits {
+					op.Credits[vc] = op.Link.BufFlits
+				}
+			}
+		}
+		r.active = 0
+		r.nextAlloc = 0
+		r.granted = nil
+		r.RNG = engine.NewRNGStream(n.seed, uint64(i))
+	}
+	for _, l := range n.Links {
+		l.data = packetFIFO{}
+		l.credit = creditFIFO{}
+		l.winFlits = 0
+	}
+	for s := range n.shard {
+		free := n.shard[s].free
+		n.shard[s] = shardStats{free: free}
+	}
+	n.Cycle = 0
+	n.gen = nil
+	n.measuring = false
+	n.measStart = 0
+	n.measEnd = 0
+	n.idleCycles = 0
+}
+
+// clear empties the VC queue and invalidates its cached routing decision,
+// dropping any packets it still holds.
+func (v *vcQueue) clear() {
+	for i := range v.q {
+		v.q[i] = nil
+	}
+	v.q = v.q[:0]
+	v.head = 0
+	v.occ = 0
+	v.routed = false
+}

@@ -26,6 +26,7 @@ package sldf
 
 import (
 	"sldf/internal/analysis"
+	"sldf/internal/campaign"
 	"sldf/internal/core"
 	"sldf/internal/cost"
 	"sldf/internal/layout"
@@ -79,16 +80,35 @@ type (
 	SLDFParams = topology.SLDFParams
 	// DragonflyParams sizes a switch-based Dragonfly.
 	DragonflyParams = topology.DragonflyParams
+	// RunOptions configure how a sweep's points execute (concurrent jobs,
+	// on-disk point cache).
+	RunOptions = core.RunOptions
+	// Cache is an on-disk store of measured load points.
+	Cache = campaign.Cache
 )
 
 // Build constructs the system described by cfg.
 func Build(cfg Config) (*System, error) { return core.Build(cfg) }
 
-// Sweep measures a named pattern over a list of injection rates, building a
-// fresh system per point.
+// Sweep measures a named pattern over a list of injection rates, each point
+// starting from an identical just-built network state.
 func Sweep(cfg Config, pattern string, rates []float64, sp SimParams) (Series, error) {
 	return core.Sweep(cfg, pattern, rates, sp)
 }
+
+// SweepOpts is Sweep with execution options: opts.Jobs measures points
+// concurrently (results are bitwise identical for any value) and opts.Cache
+// lets a re-run skip points already measured.
+func SweepOpts(cfg Config, pattern string, rates []float64, sp SimParams, opts RunOptions) (Series, error) {
+	return core.SweepOpts(cfg, pattern, rates, sp, opts)
+}
+
+// OpenCache opens (creating if needed) an on-disk point cache at dir.
+func OpenCache(dir string) (*Cache, error) { return campaign.OpenCache(dir) }
+
+// RateGrid returns the inclusive injection-rate grid lo, lo+step, ..., hi
+// using integer stepping (no accumulated floating-point drift).
+func RateGrid(lo, hi, step float64) []float64 { return core.RateGrid(lo, hi, step) }
 
 // DefaultSim returns the paper's Table IV measurement parameters.
 func DefaultSim() SimParams { return core.DefaultSim() }
