@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for CI.
+
+Usage: benchgate.py base.txt head.txt max_regression_percent
+
+Parses `go test -bench` output (several -count repetitions per benchmark),
+takes the median ns/op per benchmark name, and fails when any benchmark
+present in both files regressed by more than the threshold. Medians make
+the gate robust to the occasional noisy repetition on shared CI runners;
+the human-readable comparison is printed by benchstat in the step before.
+"""
+import re
+import statistics
+import sys
+
+LINE = re.compile(r"^(Benchmark\S+)\s+\d+\s+([0-9.e+]+) ns/op")
+
+
+def load(path):
+    runs = {}
+    with open(path) as f:
+        for line in f:
+            m = LINE.match(line)
+            if m:
+                runs.setdefault(m.group(1), []).append(float(m.group(2)))
+    return {name: statistics.median(vals) for name, vals in runs.items()}
+
+
+def main():
+    base, head, limit = sys.argv[1], sys.argv[2], float(sys.argv[3])
+    old, new = load(base), load(head)
+    if not new:
+        # The head must always produce benchmarks; an empty parse means the
+        # bench run or this parser broke, and passing silently would let an
+        # arbitrary regression through.
+        print(f"benchgate: no benchmarks parsed from head file {head}")
+        return 1
+    shared = sorted(set(old) & set(new))
+    if not shared:
+        # An empty base is the bootstrap case (benchmarks renamed or newly
+        # introduced on this PR); nothing to compare yet.
+        print("benchgate: no common benchmarks between base and head; skipping")
+        return 0
+    failed = []
+    for name in shared:
+        delta = (new[name] - old[name]) / old[name] * 100
+        marker = ""
+        if delta > limit:
+            failed.append(name)
+            marker = f"  << exceeds +{limit:.0f}% limit"
+        print(f"{name:60s} {old[name]:14.0f} -> {new[name]:14.0f} ns/op "
+              f"({delta:+7.2f}%){marker}")
+    if failed:
+        print(f"\nbenchgate: {len(failed)} benchmark(s) regressed more than "
+              f"{limit:.0f}%: {', '.join(failed)}")
+        return 1
+    print(f"\nbenchgate: OK ({len(shared)} benchmarks within +{limit:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

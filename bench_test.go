@@ -297,7 +297,9 @@ func BenchmarkAblationPortLayout(b *testing.B) {
 // same multi-point single-W-group sweep run serially and with 4 concurrent
 // point jobs (each simulation single-threaded so the comparison isolates
 // the campaign fan-out). The jobs4 variant should run several times faster
-// per op than jobs1 on a multi-core machine; results are identical.
+// per op than jobs1 on a multi-core machine; results are identical. The
+// lowest-point variant measures only the grid's lowest rate, where the
+// active-set engine skips nearly every router and link.
 func BenchmarkCampaignParallel(b *testing.B) {
 	cfg := core.Config{Kind: core.SwitchlessDragonfly, SLDF: core.Radix16SLDF(),
 		Seed: 1, Workers: 1}
@@ -318,10 +320,27 @@ func BenchmarkCampaignParallel(b *testing.B) {
 			b.ReportMetric(float64(len(rates)), "points")
 		})
 	}
+	// Eight copies of the grid's lowest rate: the campaign worker builds
+	// once and resets between points, so this isolates the per-point cost
+	// at the rate where the active-set engine skips nearly everything.
+	low := make([]float64, 8)
+	for i := range low {
+		low[i] = rates[0]
+	}
+	b.Run("lowest-point", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SweepOpts(cfg, "uniform", low, benchSim(),
+				core.RunOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkCampaignReset tracks the system-reuse win: measuring a load
-// point on a reset network vs paying a fresh construction per point.
+// point on a reset network vs paying a fresh construction per point, at
+// the sweep grid's lowest rate (mostly quiescent network) and near the
+// saturation knee.
 func BenchmarkCampaignReset(b *testing.B) {
 	cfg := core.Config{Kind: core.SwitchlessDragonfly, SLDF: core.Radix16SLDF(),
 		Seed: 1, Workers: 1}
@@ -332,16 +351,62 @@ func BenchmarkCampaignReset(b *testing.B) {
 	}
 	defer sys.Close()
 	pat, _ := sys.PatternFor("uniform")
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sys.Reset()
-		if _, err := sys.MeasureLoad(pat, 0.8, benchSim()); err != nil {
-			b.Fatal(err)
-		}
+	for _, rate := range []float64{0.2, 0.8} {
+		b.Run(fmt.Sprintf("rate%.1f", rate), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys.Reset()
+				if _, err := sys.MeasureLoad(pat, rate, benchSim()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
 // --- Simulator kernel -------------------------------------------------------
+
+// benchStep times one simulator cycle at steady state on the single-W-group
+// system, for the given cycle engine and offered load. Low rates are where
+// sweeps spend most of their points; the active-set engine's advantage
+// comes from skipping the quiescent majority of routers and links there.
+func benchStep(b *testing.B, kind netsim.EngineKind, rate float64) {
+	cfg := core.Config{Kind: core.SwitchlessDragonfly, SLDF: core.Radix16SLDF(), Seed: 1,
+		Workers: 1}
+	cfg.SLDF.G = 1
+	sys, err := core.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	sys.Net.SetEngine(kind)
+	pat, _ := sys.PatternFor("uniform")
+	gen := traffic.NewRate(pat, rate, 4, sys.NodesPerChip)
+	sys.Net.SetTraffic(gen, 4, netsim.DstSameIndex)
+	for i := 0; i < 2000; i++ { // reach steady state before timing
+		sys.Net.Step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Net.Step()
+	}
+	b.ReportMetric(float64(len(sys.Net.Routers)), "routers")
+}
+
+func BenchmarkStepActiveSet(b *testing.B) {
+	for _, rate := range []float64{0.2, 0.8} {
+		b.Run(fmt.Sprintf("rate%.1f", rate), func(b *testing.B) {
+			benchStep(b, netsim.EngineActiveSet, rate)
+		})
+	}
+}
+
+func BenchmarkStepReference(b *testing.B) {
+	for _, rate := range []float64{0.2, 0.8} {
+		b.Run(fmt.Sprintf("rate%.1f", rate), func(b *testing.B) {
+			benchStep(b, netsim.EngineReference, rate)
+		})
+	}
+}
 
 func BenchmarkKernelCycle(b *testing.B) {
 	// Raw simulator speed: router-cycles per second on the single-W-group

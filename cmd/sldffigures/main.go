@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -23,15 +25,53 @@ import (
 )
 
 func main() {
-	var (
-		quick    = flag.Bool("quick", false, "CI-scale runs (small windows, thinner grids, radix-24 stand-in for Fig. 12)")
-		full     = flag.Bool("full", false, "force paper-scale runs (Table IV windows)")
-		fig      = flag.String("fig", "all", "which figure: 10 | 11 | 12 | 13 | 14 | 15 | all")
-		out      = flag.String("out", "figures", "output directory for CSV files")
-		jobs     = flag.Int("jobs", 1, "sweep points measured concurrently (results identical for any value)")
-		cacheDir = flag.String("cache", "", "directory for the on-disk point cache (empty = off); re-runs skip already-measured points")
-	)
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, errUsage) {
+			os.Exit(2) // the flag package's historical usage-error status
+		}
+		fmt.Fprintf(os.Stderr, "sldffigures: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// errUsage signals main that the flag package already reported the problem
+// (usage text included) on the error writer.
+var errUsage = errors.New("usage error")
+
+// figRunners maps figure IDs to their sweep-based experiment runners
+// (Fig. 15, the energy bars, has a different result shape and is handled
+// separately).
+var figRunners = map[string]func(core.Scale, core.RunOptions) ([]metrics.Figure, error){
+	"10": core.Fig10,
+	"11": core.Fig11,
+	"12": core.Fig12,
+	"13": core.Fig13,
+	"14": core.Fig14,
+}
+
+// run executes the command with the given arguments, writing summaries to
+// w and diagnostics to errw. Split from main so tests can drive flag
+// parsing and formatting.
+func run(args []string, w, errw io.Writer) error {
+	fs := flag.NewFlagSet("sldffigures", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	quick := fs.Bool("quick", false, "CI-scale runs (small windows, thinner grids, radix-24 stand-in for Fig. 12)")
+	full := fs.Bool("full", false, "force paper-scale runs (Table IV windows)")
+	fig := fs.String("fig", "all", "which figure: 10 | 11 | 12 | 13 | 14 | 15 | all")
+	out := fs.String("out", "figures", "output directory for CSV files")
+	jobs := fs.Int("jobs", 1, "sweep points measured concurrently (results identical for any value)")
+	cacheDir := fs.String("cache", "", "directory for the on-disk point cache (empty = off); re-runs skip already-measured points")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h printed usage; that is success, not failure
+		}
+		return errUsage // the flag package already printed error + usage
+	}
+	switch *fig {
+	case "10", "11", "12", "13", "14", "15", "all":
+	default:
+		return fmt.Errorf("unknown -fig %q (want 10–15 or all)", *fig)
+	}
 
 	scale := core.ScaleQuick
 	if *full || (!*quick && *fig != "all") {
@@ -41,80 +81,67 @@ func main() {
 		scale = core.ScaleQuick
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatalf("%v", err)
+		return err
 	}
 	opts := core.RunOptions{Jobs: *jobs}
 	if *cacheDir != "" {
 		c, err := campaign.OpenCache(*cacheDir)
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
 		opts.Cache = c
 	}
 
-	runners := map[string]func(core.Scale, core.RunOptions) ([]metrics.Figure, error){
-		"10": core.Fig10,
-		"11": core.Fig11,
-		"12": core.Fig12,
-		"13": core.Fig13,
-		"14": core.Fig14,
-	}
-	order := []string{"10", "11", "12", "13", "14"}
-
 	want := func(id string) bool { return *fig == "all" || *fig == id }
 
-	for _, id := range order {
+	for _, id := range []string{"10", "11", "12", "13", "14"} {
 		if !want(id) {
 			continue
 		}
 		start := time.Now()
-		figs, err := runners[id](scale, opts)
+		figs, err := figRunners[id](scale, opts)
 		if err != nil {
-			fatalf("fig %s: %v", id, err)
+			return fmt.Errorf("fig %s: %w", id, err)
 		}
 		for _, f := range figs {
 			path := filepath.Join(*out, f.Name+".csv")
 			if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
-				fatalf("write %s: %v", path, err)
+				return fmt.Errorf("write %s: %w", path, err)
 			}
-			fmt.Printf("== %s — %s (%s)\n", f.Name, f.Title, path)
+			fmt.Fprintf(w, "== %s — %s (%s)\n", f.Name, f.Title, path)
 			for _, s := range f.Series {
-				fmt.Printf("   %-16s saturation ≈ %.2f  peak throughput %.2f flits/cycle/chip\n",
+				fmt.Fprintf(w, "   %-16s saturation ≈ %.2f  peak throughput %.2f flits/cycle/chip\n",
 					s.Label, s.Saturation(3), s.MaxThroughput())
 			}
 		}
-		fmt.Printf("-- fig %s done in %s\n\n", id, time.Since(start).Round(time.Second))
+		fmt.Fprintf(w, "-- fig %s done in %s\n\n", id, time.Since(start).Round(time.Second))
 	}
 
 	if want("15") {
 		start := time.Now()
 		efigs, err := core.Fig15(scale, opts)
 		if err != nil {
-			fatalf("fig 15: %v", err)
+			return fmt.Errorf("fig 15: %w", err)
 		}
 		for _, f := range efigs {
 			var b strings.Builder
 			b.WriteString("system,intra_pj_per_bit,inter_pj_per_bit,total_pj_per_bit\n")
-			fmt.Printf("== %s — %s\n", f.Name, f.Title)
+			fmt.Fprintf(w, "== %s — %s\n", f.Name, f.Title)
 			for _, bar := range f.Bars {
 				fmt.Fprintf(&b, "%s,%.3f,%.3f,%.3f\n", bar.Label, bar.Intra, bar.Inter, bar.Total())
-				fmt.Printf("   %-16s %6.1f pJ/bit (intra %5.1f + inter %5.1f)\n",
+				fmt.Fprintf(w, "   %-16s %6.1f pJ/bit (intra %5.1f + inter %5.1f)\n",
 					bar.Label, bar.Total(), bar.Intra, bar.Inter)
 			}
 			path := filepath.Join(*out, f.Name+".csv")
 			if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
-				fatalf("write %s: %v", path, err)
+				return fmt.Errorf("write %s: %w", path, err)
 			}
 		}
-		fmt.Printf("-- fig 15 done in %s\n", time.Since(start).Round(time.Second))
+		fmt.Fprintf(w, "-- fig 15 done in %s\n", time.Since(start).Round(time.Second))
 	}
 
 	if opts.Cache != nil {
-		fmt.Fprintln(os.Stderr, opts.Cache.StatsLine())
+		fmt.Fprintln(errw, opts.Cache.StatsLine())
 	}
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "sldffigures: "+format+"\n", args...)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunHelp(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-h"}, &out, &errOut); err != nil {
+		t.Fatalf("-h must succeed, got %v", err)
+	}
+	if !strings.Contains(errOut.String(), "Usage of sldffigures") {
+		t.Errorf("-h did not print usage on the error writer:\n%s", errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("-h wrote to the data stream: %q", out.String())
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-fig", "9"}, // 9 is the layout study (sldftables), not a sweep figure
+		{"-fig", "nope"},
+		{"-no-such-flag"},
+		{"-jobs", "x"},
+	}
+	for _, args := range cases {
+		var buf strings.Builder
+		if err := run(args, &buf, io.Discard); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunQuickFig14(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	dir := t.TempDir()
+	var buf strings.Builder
+	if err := run([]string{"-quick", "-fig", "14", "-out", dir, "-jobs", "4"}, &buf, io.Discard); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"== fig14a — AllReduce: Intra-C-group",
+		"== fig14b — AllReduce: Intra-W-group",
+		"saturation ≈",
+		"-- fig 14 done in",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q in:\n%s", want, out)
+		}
+	}
+	for _, name := range []string{"fig14a.csv", "fig14b.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("CSV not written: %v", err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) < 2 {
+			t.Fatalf("%s: no data rows", name)
+		}
+		if !strings.HasPrefix(lines[0], "rate,") {
+			t.Errorf("%s: unexpected header %q", name, lines[0])
+		}
+	}
+}

@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"sldf"
 )
@@ -15,6 +16,11 @@ import (
 func main() {
 	sp := sldf.SimParams{Warmup: 600, Measure: 1200, ExtraDrain: 600, PacketSize: 4}
 	rates := []float64{0.05, 0.1, 0.2, 0.3, 0.4}
+	if os.Getenv("SLDF_QUICK") != "" {
+		// CI smoke mode: tiny windows and a thin rate grid.
+		sp = sldf.SimParams{Warmup: 100, Measure: 200, ExtraDrain: 100, PacketSize: 4}
+		rates = []float64{0.05, 0.2}
+	}
 
 	base := sldf.Config{Kind: sldf.SwitchlessDragonfly, SLDF: sldf.Radix16SLDF(), Seed: 7}
 	valiant := base

@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"sldf"
 	"sldf/internal/core"
@@ -17,6 +18,13 @@ import (
 func main() {
 	sp := sldf.SimParams{Warmup: 800, Measure: 1600, ExtraDrain: 800, PacketSize: 4}
 	rates := []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0}
+	volume := int64(4096)
+	if os.Getenv("SLDF_QUICK") != "" {
+		// CI smoke mode: tiny windows, thin grid, small ring volume.
+		sp = sldf.SimParams{Warmup: 100, Measure: 200, ExtraDrain: 100, PacketSize: 4}
+		rates = []float64{1.0, 3.0}
+		volume = 256
+	}
 
 	fmt.Println("== steady-state ring throughput (Fig. 14a)")
 	systems := []struct {
@@ -38,17 +46,17 @@ func main() {
 			s.label, series.Saturation(3), series.MaxThroughput())
 	}
 
-	// Makespan mode: every chip must circulate 4096 flits to its ring
+	// Makespan mode: every chip must circulate the volume to its ring
 	// neighbour (one AllReduce step). Lower is better; the mesh C-group's
 	// four injection ports per chip finish first.
-	fmt.Println("\n== fixed-volume ring step makespan (4096 flits/chip)")
+	fmt.Printf("\n== fixed-volume ring step makespan (%d flits/chip)\n", volume)
 	for _, s := range systems[:2] {
 		sys, err := core.Build(s.cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		ring := traffic.Ring{N: int32(sys.Chips)}
-		vol := traffic.NewVolume(ring, 4096, 4, sys.Chips, sys.NodesPerChip)
+		vol := traffic.NewVolume(ring, volume, 4, sys.Chips, sys.NodesPerChip)
 		sys.Net.SetTraffic(vol, 4, netsim.DstSameIndex)
 		sys.Net.StartMeasurement()
 		cycles := int64(0)

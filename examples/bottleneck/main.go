@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"sldf"
 	"sldf/internal/core"
@@ -16,6 +17,10 @@ import (
 
 func main() {
 	sp := sldf.SimParams{Warmup: 600, Measure: 1200, ExtraDrain: 600, PacketSize: 4}
+	if os.Getenv("SLDF_QUICK") != "" {
+		// CI smoke mode: tiny measurement windows.
+		sp = sldf.SimParams{Warmup: 100, Measure: 200, ExtraDrain: 100, PacketSize: 4}
+	}
 	const rate = 0.7 // above the 1B knee, below the 2B knee
 
 	for _, width := range []int32{1, 2} {

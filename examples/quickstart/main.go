@@ -6,6 +6,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"sldf"
 )
@@ -31,9 +32,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sys.MeasureLoad(pat, 0.5, sldf.SimParams{
-		Warmup: 1000, Measure: 2000, ExtraDrain: 1000, PacketSize: 4,
-	})
+	sp := sldf.SimParams{Warmup: 1000, Measure: 2000, ExtraDrain: 1000, PacketSize: 4}
+	if os.Getenv("SLDF_QUICK") != "" {
+		// CI smoke mode: tiny measurement windows.
+		sp = sldf.SimParams{Warmup: 100, Measure: 200, ExtraDrain: 100, PacketSize: 4}
+	}
+	res, err := sys.MeasureLoad(pat, 0.5, sp)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -75,6 +75,13 @@ type SimParams struct {
 	Measure    int64 // window length
 	ExtraDrain int64 // post-window cycles (traffic stays on) to flush packets
 	PacketSize int32 // flits
+
+	// Engine selects the cycle engine for the measurement. The default,
+	// netsim.EngineActiveSet, skips quiescent routers and links;
+	// netsim.EngineReference walks everything each cycle. Both produce
+	// bitwise-identical statistics, so serial-reference runs can
+	// cross-check active-set results (see the engine equivalence tests).
+	Engine netsim.EngineKind
 }
 
 // DefaultSim returns the Table IV defaults: 4-flit packets, 5000 warmup,

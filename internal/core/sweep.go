@@ -6,6 +6,7 @@ import (
 
 	"sldf/internal/campaign"
 	"sldf/internal/metrics"
+	"sldf/internal/netsim"
 	"sldf/internal/routing"
 	"sldf/internal/traffic"
 )
@@ -90,9 +91,19 @@ func (c Config) cacheID() string {
 		c.Scheme, c.Mode, c.IntraWidth, c.Seed)
 }
 
-// pointKey is the on-disk cache key for one measured load point.
+// pointKey is the on-disk cache key for one measured load point. The
+// explicit field list keeps keys byte-compatible with pre-Engine caches.
+// A non-default engine gets its own cache slot even though both engines
+// measure bitwise-identical results: a serial-reference cross-check must
+// actually simulate, not replay the cached active-set point it is
+// supposed to check.
 func pointKey(cfg Config, patternKey string, rate float64, sp SimParams) string {
-	return fmt.Sprintf("%s|pat=%s|rate=%.17g|sim=%+v", cfg.cacheID(), patternKey, rate, sp)
+	key := fmt.Sprintf("%s|pat=%s|rate=%.17g|sim={Warmup:%d Measure:%d ExtraDrain:%d PacketSize:%d}",
+		cfg.cacheID(), patternKey, rate, sp.Warmup, sp.Measure, sp.ExtraDrain, sp.PacketSize)
+	if sp.Engine != netsim.EngineActiveSet {
+		key += "|engine=" + sp.Engine.String()
+	}
+	return key
 }
 
 // Sweep measures a series of load points for a named traffic pattern,

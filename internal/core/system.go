@@ -140,6 +140,7 @@ type Result struct {
 // The system's network is consumed (statistics accumulate); build a new
 // System for the next point.
 func (s *System) MeasureLoad(pat traffic.Pattern, rate float64, sp SimParams) (Result, error) {
+	s.Net.SetEngine(sp.Engine)
 	gen := traffic.NewRate(pat, rate, sp.PacketSize, s.NodesPerChip)
 	s.Net.SetTraffic(gen, sp.PacketSize, netsim.DstSameIndex)
 	if err := s.Net.Run(sp.Warmup); err != nil {
@@ -216,4 +217,3 @@ func (s *System) ringPattern(bidir bool) traffic.Pattern {
 	}
 	return traffic.Ring{N: int32(s.Chips), Bidirectional: bidir}
 }
-

@@ -8,7 +8,10 @@
 // that single-producer/single-consumer queues need no locks.
 package engine
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+)
 
 // RNG is a small, fast, deterministic pseudo-random generator
 // (xoshiro256** seeded via SplitMix64). It is not safe for concurrent use;
@@ -97,6 +100,23 @@ func (r *RNG) Bernoulli(p float64) bool {
 		return true
 	}
 	return r.Float64() < p
+}
+
+// BernoulliThreshold precomputes the integer threshold for repeated
+// Bernoulli draws with a fixed p in (0,1): rng.Hit(BernoulliThreshold(p))
+// consumes one Uint64 and decides bit-identically to rng.Bernoulli(p),
+// skipping the integer→float conversion on every draw.
+//
+// Why it is exact: Float64 returns k/2^53 with k = Uint64()>>11, and both
+// the conversion and the division are exact, so k/2^53 < p ⇔ k < p·2^53
+// ⇔ k < ceil(p·2^53) (k is an integer; p·2^53 is an exact float scaling).
+func BernoulliThreshold(p float64) uint64 {
+	return uint64(math.Ceil(p * (1 << 53)))
+}
+
+// Hit reports true with the probability encoded by BernoulliThreshold.
+func (r *RNG) Hit(threshold uint64) bool {
+	return r.Uint64()>>11 < threshold
 }
 
 // Perm fills out with a uniform random permutation of [0, len(out)).

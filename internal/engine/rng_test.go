@@ -148,3 +148,23 @@ func TestInt31n(t *testing.T) {
 		}
 	}
 }
+
+// TestBernoulliThresholdExact checks the integer-threshold fast path
+// decides bit-identically to Bernoulli for the same RNG stream, including
+// awkward probabilities near the representation edges.
+func TestBernoulliThresholdExact(t *testing.T) {
+	probs := []float64{1e-12, 0.0125, 0.1, 1.0 / 3, 0.5, 0.875, 0.999999,
+		1 - 1e-15, 5e-2 / 4 / 4}
+	for _, p := range probs {
+		a := NewRNG(99)
+		b := NewRNG(99)
+		thresh := BernoulliThreshold(p)
+		for i := 0; i < 200000; i++ {
+			want := a.Bernoulli(p)
+			got := b.Hit(thresh)
+			if want != got {
+				t.Fatalf("p=%g draw %d: Bernoulli=%v Hit=%v", p, i, want, got)
+			}
+		}
+	}
+}

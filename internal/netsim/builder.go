@@ -181,7 +181,7 @@ func (b *Builder) Finalize(opts NetworkOptions) (*Network, error) {
 	}
 	wd := opts.WatchdogCycles
 	if wd <= 0 {
-		wd = 10000
+		wd = DefaultWatchdogCycles
 	}
 
 	n := &Network{
@@ -195,9 +195,13 @@ func (b *Builder) Finalize(opts NetworkOptions) (*Network, error) {
 		seed:          opts.Seed,
 		packetSize:    4,
 		watchdogLimit: wd,
+		engineKind:    opts.Engine,
 	}
 	for i := range n.Routers {
 		n.Routers[i].RNG = engine.NewRNGStream(opts.Seed, uint64(i))
+		// Routers beyond 64 ports fall back to full port scans; none of the
+		// evaluated systems comes close.
+		n.Routers[i].wide = len(n.Routers[i].In) > 64 || len(n.Routers[i].Out) > 64
 	}
 	// Partition links by consumer shard for the phase-A drain.
 	shardOf := func(router NodeID) int {
@@ -214,9 +218,54 @@ func (b *Builder) Finalize(opts NetworkOptions) (*Network, error) {
 	for _, l := range n.Links {
 		ds := shardOf(l.Dst)
 		n.dataLinks[ds] = append(n.dataLinks[ds], l)
+		l.dstShard = int32(ds)
 		cs := shardOf(l.Src)
 		n.creditLinks[cs] = append(n.creditLinks[cs], l)
+		l.srcShard = int32(cs)
 	}
+	// Static per-shard injector lists and active-set scaffolding (used by
+	// the active-set engine; both engines visit injectors in this order).
+	// The timing wheel must reach past the longest link delay (+1 cycle of
+	// flit time, +1 so a wake never lands on the slot being drained); the
+	// 64-slot floor gives sleeping routers room to park typical
+	// serialization waits.
+	maxDelay := int32(0)
+	for _, l := range n.Links {
+		if l.Delay > maxDelay {
+			maxDelay = l.Delay
+		}
+	}
+	wheelSize := 64
+	for wheelSize < int(maxDelay)+2 {
+		wheelSize *= 2
+	}
+	n.injectors = make([][]NodeID, shards)
+	n.active = make([]shardActive, shards)
+	for s := 0; s < shards; s++ {
+		lo, hi := engine.ShardBounds(len(n.Routers), shards, s)
+		for id := lo; id < hi; id++ {
+			r := &n.Routers[id]
+			if r.InjIn >= 0 && r.Chip >= 0 {
+				n.injectors[s] = append(n.injectors[s], r.ID)
+			}
+		}
+		n.active[s] = shardActive{
+			lo:          lo,
+			hi:          hi,
+			routers:     engine.NewBitset(hi - lo),
+			wheelMask:   int64(wheelSize - 1),
+			wheelData:   make([][]*Link, wheelSize),
+			wheelCredit: make([][]*Link, wheelSize),
+			wheelRouter: make([][]NodeID, wheelSize),
+			stageData:   make([][]*Link, shards),
+			stageCredit: make([][]*Link, shards),
+		}
+		// Stock the packet pool so low-load measurement windows run
+		// allocation-free from the first cycle; saturated windows still
+		// grow it on demand (once — Reset keeps the pool).
+		n.shard[s].free.prealloc(2*len(n.injectors[s]) + 64)
+	}
+	n.initPhases()
 	b.routers = nil
 	b.links = nil
 	return n, nil

@@ -23,6 +23,23 @@ func (f GeneratorFunc) NextDest(now int64, srcChip int32, nodeIdx int, rng *engi
 	return f(now, srcChip, nodeIdx, rng)
 }
 
+// BernoulliGenerator is an optional Generator specialization for open-loop
+// Bernoulli injection. When a generator implements it, the cycle engine
+// inlines the per-injector coin flip — the single hottest generator call —
+// and pays the dynamic Dest dispatch only for the injectors whose flip
+// succeeded. The contract mirrors Generator.NextDest built from these
+// parts: prob <= 0 never injects and consumes no randomness; prob >= 1
+// always injects without a flip; otherwise one rng.Hit(thresh) draw decides.
+// Dest returns the destination chip, or -1 to inject nothing after all.
+type BernoulliGenerator interface {
+	Generator
+	// InjectionRate returns the per-node-cycle injection probability and
+	// its engine.BernoulliThreshold.
+	InjectionRate() (prob float64, thresh uint64)
+	// Dest picks the destination chip after a successful flip.
+	Dest(now int64, srcChip int32, nodeIdx int, rng *engine.RNG) int32
+}
+
 // DstNodePolicy selects which node of the destination chip receives a packet.
 type DstNodePolicy uint8
 

@@ -62,6 +62,18 @@ func (f *packetFIFO) popReady(now int64) (tp timedPacket, ok bool) {
 
 func (f *packetFIFO) len() int { return f.n }
 
+// frontAt returns the delivery cycle of the earliest queued packet; the
+// queue must be non-empty.
+func (f *packetFIFO) frontAt() int64 { return f.buf[f.head].at }
+
+// clear drops all queued packets, keeping the ring's capacity.
+func (f *packetFIFO) clear() {
+	for i := 0; i < f.n; i++ {
+		f.buf[(f.head+i)&(len(f.buf)-1)].p = nil
+	}
+	f.head, f.n = 0, 0
+}
+
 // creditFIFO is the same ring-buffer structure for credit messages.
 type creditFIFO struct {
 	buf  []timedCredit
@@ -85,6 +97,13 @@ func (f *creditFIFO) push(c timedCredit) {
 	f.buf[(f.head+f.n)&(len(f.buf)-1)] = c
 	f.n++
 }
+
+// clear drops all queued credits, keeping the ring's capacity.
+func (f *creditFIFO) clear() { f.head, f.n = 0, 0 }
+
+// frontAt returns the delivery cycle of the earliest queued credit; the
+// queue must be non-empty.
+func (f *creditFIFO) frontAt() int64 { return f.buf[f.head].at }
 
 func (f *creditFIFO) popReady(now int64) (c timedCredit, ok bool) {
 	if f.n == 0 {
@@ -120,6 +139,19 @@ type Link struct {
 
 	data   packetFIFO
 	credit creditFIFO
+
+	// srcShard/dstShard are the shards owning the endpoint routers.
+	// The data queue is produced by srcShard (allocate) and consumed by
+	// dstShard (drain); the credit queue is produced by dstShard and
+	// consumed by srcShard.
+	srcShard int32
+	dstShard int32
+	// dataActive/creditActive report membership in the consumer shard's
+	// active-link worklist. Each flag is set by the producer shard during
+	// the allocate phase and cleared by the consumer shard during the drain
+	// phase; the inter-phase barrier makes that safe without atomics.
+	dataActive   bool
+	creditActive bool
 
 	// winFlits counts flits launched onto the link during the measurement
 	// window (written only by the source router's shard).

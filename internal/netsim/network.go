@@ -17,6 +17,12 @@ type RouteFunc func(net *Network, r *Router, p *Packet) (out int, vc uint8)
 // while packets are still in flight.
 var ErrDeadlock = errors.New("netsim: no progress with packets in flight (routing deadlock?)")
 
+// DefaultWatchdogCycles is the progress-watchdog threshold used when
+// NetworkOptions.WatchdogCycles is zero: after this many consecutive
+// zero-progress cycles with packets in flight, Run returns ErrDeadlock
+// (and the trip is counted in Stats.WatchdogTrips).
+const DefaultWatchdogCycles = 10000
+
 // Network is a complete simulated interconnection network.
 type Network struct {
 	Routers []Router
@@ -30,6 +36,7 @@ type Network struct {
 
 	route      RouteFunc
 	gen        Generator
+	genBern    BernoulliGenerator // non-nil when gen supports the inlined coin flip
 	packetSize int32
 	dstPolicy  DstNodePolicy
 	seed       uint64
@@ -39,16 +46,30 @@ type Network struct {
 	shards    int
 	shard     []shardStats
 	// dataLinks[s] lists links whose destination router is in shard s;
-	// creditLinks[s] lists links whose source router is in shard s. Phase A
-	// iterates these flat lists instead of walking every router's ports.
+	// creditLinks[s] lists links whose source router is in shard s. The
+	// reference engine's phase A iterates these flat lists instead of
+	// walking every router's ports.
 	dataLinks   [][]*Link
 	creditLinks [][]*Link
+
+	// engineKind selects between the active-set engine and the full-scan
+	// reference engine; active is the per-shard worklist state it uses.
+	// injectors[s] statically lists the shard's injection-capable routers.
+	engineKind EngineKind
+	active     []shardActive
+	injectors  [][]NodeID
+
+	// Persistent phase closures (reading n.Cycle for the current time), so
+	// Step allocates nothing; built once by initPhases.
+	drainActiveFn, drainRefFn func(s int)
+	allocActiveFn, allocRefFn func(s int)
 
 	measuring     bool
 	measStart     int64
 	measEnd       int64
 	idleCycles    int64 // consecutive cycles with no packet movement
 	watchdogLimit int64
+	watchdogTrips int64 // times the progress watchdog fired since reset
 
 	// preAllocate, when set, runs single-threaded between the drain and
 	// allocate phases of every cycle. Adaptive routing uses it to snapshot
@@ -70,14 +91,20 @@ type NetworkOptions struct {
 	// and owned by the network.
 	Pool *engine.Pool
 	// WatchdogCycles is the number of consecutive zero-progress cycles with
-	// in-flight packets after which Run returns ErrDeadlock (0 = 10000).
+	// in-flight packets after which Run returns ErrDeadlock and increments
+	// Stats.WatchdogTrips (0 selects DefaultWatchdogCycles).
 	WatchdogCycles int64
+	// Engine selects the cycle engine (default EngineActiveSet). Both
+	// engines produce bitwise-identical statistics; EngineReference is the
+	// full-scan cross-check. It can be changed later with SetEngine.
+	Engine EngineKind
 }
 
 // SetTraffic installs the traffic generator. packetSize is the packet length
 // in flits (paper Table IV default is 4).
 func (n *Network) SetTraffic(gen Generator, packetSize int32, policy DstNodePolicy) {
 	n.gen = gen
+	n.genBern, _ = gen.(BernoulliGenerator)
 	n.packetSize = packetSize
 	n.dstPolicy = policy
 }
@@ -131,40 +158,67 @@ func (n *Network) deliver(shard int, p *Packet) {
 }
 
 // generate creates this cycle's new packets for every injection node of the
-// routers in [lo, hi).
-func (n *Network) generate(shard, lo, hi int, now int64) {
+// shard. act is the shard's active set (nil under the reference engine);
+// both engines visit the same injectors in the same ascending-ID order, so
+// packet sequence numbers and RNG draws are identical. Bernoulli-style
+// generators get their coin flip inlined (the dominant per-cycle generator
+// cost); the dynamic Dest call is paid only for winning flips.
+func (n *Network) generate(shard int, now int64, act *shardActive) {
 	if n.gen == nil {
 		return
 	}
-	ss := &n.shard[shard]
-	for id := lo; id < hi; id++ {
+	if g := n.genBern; g != nil {
+		prob, thresh := g.InjectionRate()
+		if prob <= 0 {
+			return
+		}
+		always := prob >= 1
+		for _, id := range n.injectors[shard] {
+			r := &n.Routers[id]
+			if !always && !r.RNG.Hit(thresh) {
+				continue
+			}
+			if dst := g.Dest(now, r.Chip, int(r.Local), &r.RNG); dst >= 0 {
+				n.admit(shard, r, dst, now, act)
+			}
+		}
+		return
+	}
+	for _, id := range n.injectors[shard] {
 		r := &n.Routers[id]
-		if r.InjIn < 0 || r.Chip < 0 {
-			continue
+		if dst := n.gen.NextDest(now, r.Chip, int(r.Local), &r.RNG); dst >= 0 {
+			n.admit(shard, r, dst, now, act)
 		}
-		nodeIdx := int(r.Local)
-		dst := n.gen.NextDest(now, r.Chip, nodeIdx, &r.RNG)
-		if dst < 0 {
-			continue
+	}
+}
+
+// admit queues one new packet from r's terminal toward chip dst.
+func (n *Network) admit(shard int, r *Router, dst int32, now int64, act *shardActive) {
+	ss := &n.shard[shard]
+	nodeIdx := int(r.Local)
+	p := ss.free.get()
+	ss.pktSeq++
+	p.ID = uint64(shard)<<48 | ss.pktSeq
+	p.Aux, p.Aux2 = -1, -1
+	p.SrcChip = r.Chip
+	p.DstChip = dst
+	p.SrcNode = r.ID
+	p.DstNode = n.destNode(dst, nodeIdx, &r.RNG)
+	p.Size = n.packetSize
+	p.CreatedAt = now
+	ss.injectedPkts++
+	ip := &r.In[r.InjIn]
+	if ip.VCs[0].empty() {
+		if ip.occMask == 0 {
+			r.occPorts |= 1 << uint(r.InjIn)
 		}
-		p := ss.free.get()
-		ss.pktSeq++
-		p.ID = uint64(shard)<<48 | ss.pktSeq
-		p.Aux, p.Aux2 = -1, -1
-		p.SrcChip = r.Chip
-		p.DstChip = dst
-		p.SrcNode = r.ID
-		p.DstNode = n.destNode(dst, nodeIdx, &r.RNG)
-		p.Size = n.packetSize
-		p.CreatedAt = now
-		ss.injectedPkts++
-		ip := &r.In[r.InjIn]
-		if ip.VCs[0].empty() {
-			ip.occMask |= 1
-			r.active++
-		}
-		ip.VCs[0].push(p)
-		r.nextAlloc = 0
+		ip.occMask |= 1
+		r.active++
+	}
+	ip.VCs[0].push(p)
+	r.nextAlloc = 0
+	if act != nil {
+		act.routers.Add(int(r.ID) - act.lo)
 	}
 }
 
@@ -179,69 +233,113 @@ func (n *Network) destNode(dstChip int32, srcNodeIdx int, rng *engine.RNG) NodeI
 	}
 }
 
+// drainDataLink delivers every deliverable packet of l into its
+// destination router's VC buffers, maintaining the occupancy bookkeeping.
+// Shared by both cycle engines so their per-event semantics cannot
+// diverge; act is the destination shard's active set (nil under the
+// reference engine).
+func (n *Network) drainDataLink(l *Link, now int64, act *shardActive) {
+	r := &n.Routers[l.Dst]
+	ip := &r.In[l.DstPort]
+	for {
+		tp, ok := l.data.popReady(now)
+		if !ok {
+			break
+		}
+		q := &ip.VCs[tp.p.VC]
+		if q.empty() {
+			if ip.occMask == 0 {
+				r.occPorts |= 1 << uint(l.DstPort)
+			}
+			ip.occMask |= 1 << tp.p.VC
+			r.active++
+		}
+		q.push(tp.p)
+		r.nextAlloc = 0
+		if act != nil {
+			act.routers.Add(int(l.Dst) - act.lo)
+		}
+	}
+}
+
+// drainCreditLink returns every arrived credit of l to its source router's
+// output port, reporting whether any credit was returned. Shared by both
+// cycle engines.
+func (n *Network) drainCreditLink(l *Link, now int64) bool {
+	src := &n.Routers[l.Src]
+	op := &src.Out[l.SrcPort]
+	drained := false
+	for {
+		c, ok := l.credit.popReady(now)
+		if !ok {
+			break
+		}
+		op.Credits[c.vc] += c.flits
+		drained = true
+	}
+	if drained {
+		src.nextAlloc = 0
+	}
+	return drained
+}
+
 // drainShard delivers arrived packets and returned credits for shard s:
 // data to the destination routers' VC buffers, credits to the source
 // routers' output ports. Each link queue has exactly one consumer shard.
 func (n *Network) drainShard(s int, now int64) {
 	for _, l := range n.dataLinks[s] {
-		if l.data.n == 0 {
-			continue
-		}
-		r := &n.Routers[l.Dst]
-		ip := &r.In[l.DstPort]
-		for {
-			tp, ok := l.data.popReady(now)
-			if !ok {
-				break
-			}
-			q := &ip.VCs[tp.p.VC]
-			if q.empty() {
-				ip.occMask |= 1 << tp.p.VC
-				r.active++
-			}
-			q.push(tp.p)
-			r.nextAlloc = 0
+		if l.data.n != 0 {
+			n.drainDataLink(l, now, nil)
 		}
 	}
 	for _, l := range n.creditLinks[s] {
-		if l.credit.n == 0 {
-			continue
-		}
-		src := &n.Routers[l.Src]
-		op := &src.Out[l.SrcPort]
-		drained := false
-		for {
-			c, ok := l.credit.popReady(now)
-			if !ok {
-				break
-			}
-			op.Credits[c.vc] += c.flits
-			drained = true
-		}
-		if drained {
-			src.nextAlloc = 0
+		if l.credit.n != 0 {
+			n.drainCreditLink(l, now)
 		}
 	}
 }
 
-// Step advances the simulation by one cycle.
+// initPhases builds the persistent per-phase closures once, so Step itself
+// allocates nothing. The closures read n.Cycle for the current time: it is
+// only advanced between phases, and the pool barrier publishes it to the
+// worker goroutines.
+func (n *Network) initPhases() {
+	n.drainActiveFn = func(s int) {
+		n.mergeActivations(s)
+		n.drainShardActive(s, n.Cycle)
+	}
+	n.drainRefFn = func(s int) {
+		n.drainShard(s, n.Cycle)
+	}
+	n.allocActiveFn = func(s int) {
+		n.allocShardActive(s, n.Cycle)
+	}
+	n.allocRefFn = func(s int) {
+		now := n.Cycle
+		lo, hi := engine.ShardBounds(len(n.Routers), n.shards, s)
+		n.generate(s, now, nil)
+		moved := 0
+		for id := lo; id < hi; id++ {
+			moved += n.Routers[id].allocate(n, now, s, nil)
+		}
+		n.shard[s].moved = int64(moved)
+	}
+}
+
+// Step advances the simulation by one cycle: a drain phase delivering link
+// traffic, an optional serial hook, and an allocate phase moving packets.
+// The active-set engine runs both phases over per-shard worklists; the
+// reference engine walks every link and router.
 func (n *Network) Step() {
-	now := n.Cycle
-	n.pool.Run(n.shards, func(s int) {
-		n.drainShard(s, now)
-	})
+	drain, alloc := n.drainActiveFn, n.allocActiveFn
+	if n.engineKind != EngineActiveSet {
+		drain, alloc = n.drainRefFn, n.allocRefFn
+	}
+	n.pool.Run(n.shards, drain)
 	if n.preAllocate != nil {
 		n.preAllocate(n)
 	}
-	n.pool.Run(n.shards, func(s int) {
-		lo, hi := engine.ShardBounds(len(n.Routers), n.shards, s)
-		n.generate(s, lo, hi, now)
-		moved := 0
-		for id := lo; id < hi; id++ {
-			moved += n.Routers[id].allocate(n, now, s)
-		}
-		n.shard[s].moved = int64(moved)
-	})
+	n.pool.Run(n.shards, alloc)
 	var moved int64
 	for s := range n.shard {
 		moved += n.shard[s].moved
@@ -260,6 +358,8 @@ func (n *Network) Run(cycles int64) error {
 	for i := int64(0); i < cycles; i++ {
 		n.Step()
 		if n.idleCycles >= n.watchdogLimit {
+			n.watchdogTrips++
+			n.idleCycles = 0
 			return fmt.Errorf("%w: cycle %d, %d packets in flight",
 				ErrDeadlock, n.Cycle, n.InFlight())
 		}
@@ -279,6 +379,8 @@ func (n *Network) Drain(maxCycles int64) (int64, error) {
 		}
 		n.Step()
 		if n.idleCycles >= n.watchdogLimit {
+			n.watchdogTrips++
+			n.idleCycles = 0
 			return i, fmt.Errorf("%w: during drain at cycle %d, %d in flight",
 				ErrDeadlock, n.Cycle, n.InFlight())
 		}
@@ -310,6 +412,7 @@ func (n *Network) Snapshot() Stats {
 	}
 	st.Cycles = end - n.measStart
 	st.Chips = len(n.ChipNodes)
+	st.WatchdogTrips = n.watchdogTrips
 	for s := range n.shard {
 		ss := &n.shard[s]
 		st.InjectedPkts += ss.injectedPkts

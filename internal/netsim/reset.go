@@ -33,25 +33,39 @@ func (n *Network) Reset() {
 			}
 		}
 		r.active = 0
+		r.occPorts = 0
 		r.nextAlloc = 0
-		r.granted = nil
+		// Grant epochs restart with the cycle counter: zero every slot so a
+		// stale pre-reset epoch can never collide with a fresh now+1.
+		for g := range r.granted {
+			r.granted[g] = 0
+		}
 		r.RNG = engine.NewRNGStream(n.seed, uint64(i))
 	}
 	for _, l := range n.Links {
-		l.data = packetFIFO{}
-		l.credit = creditFIFO{}
+		// Keep the ring buffers' capacity so a reset network reaches its
+		// steady state without re-growing them.
+		l.data.clear()
+		l.credit.clear()
 		l.winFlits = 0
+		l.dataActive = false
+		l.creditActive = false
 	}
 	for s := range n.shard {
 		free := n.shard[s].free
 		n.shard[s] = shardStats{free: free}
 	}
+	for s := range n.active {
+		n.active[s].clear()
+	}
 	n.Cycle = 0
 	n.gen = nil
+	n.genBern = nil
 	n.measuring = false
 	n.measStart = 0
 	n.measEnd = 0
 	n.idleCycles = 0
+	n.watchdogTrips = 0
 }
 
 // clear empties the VC queue and invalidates its cached routing decision,

@@ -1,6 +1,10 @@
 package netsim
 
-import "sldf/internal/engine"
+import (
+	"math/bits"
+
+	"sldf/internal/engine"
+)
 
 // RouterKind tags a router with its architectural role so routing functions
 // can dispatch without topology-specific router types.
@@ -172,6 +176,13 @@ type Router struct {
 	// active counts non-empty (input port, VC) queues; allocation is
 	// skipped entirely while it is zero.
 	active int32
+	// occPorts has bit i set iff In[i].occMask != 0, so allocation visits
+	// only occupied ports. Maintained alongside occMask; meaningless (and
+	// unused) when wide is set.
+	occPorts uint64
+	// wide marks a router with more than 64 input or output ports, which
+	// falls back to full port scans instead of the bitmask fast paths.
+	wide bool
 	// nextAlloc is the earliest cycle at which allocation could succeed
 	// again when every requested output was serializing; any new arrival,
 	// credit return or injection resets it to zero.
@@ -182,10 +193,11 @@ type Router struct {
 	// requests is scratch space for the per-cycle allocation pass:
 	// requests[out] lists candidate (inPort, vc, queueIndex) keys.
 	requests [][]int32
-	// lastGrant[in*VCmax+vc] tracks per-VC-queue grants within a cycle so an
-	// ideal switch grants at most one packet per queue per cycle (queue
-	// indices in the request lists stay valid).
-	granted map[int32]int64
+	// granted[in*8+vc] holds now+1 when that VC queue was granted this
+	// cycle, so an ideal switch grants at most one packet per queue per
+	// cycle (queue indices in the request lists stay valid). A reusable
+	// slice rather than a map so steady-state cycles allocate nothing.
+	granted []int64
 }
 
 // idealLookahead bounds how many packets per VC queue an ideal switch may
@@ -201,29 +213,50 @@ func reqIn(k int32) int  { return int(k >> 16) }
 func reqVC(k int32) int  { return int(k>>8) & 0xff }
 func reqIdx(k int32) int { return int(k & 0xff) }
 
+// grantIdx indexes Router.granted: the occupancy bitmask caps VCs at 8.
+func grantIdx(in, vc int) int { return in<<3 | vc }
+
 // allocate (phase B) performs routing + switch allocation and launches
 // packets onto links. It returns the number of packets that moved (for the
 // progress watchdog) and records deliveries through the network's sink.
-func (r *Router) allocate(net *Network, now int64, shard int) int {
-	// Build per-output request lists. Ordinary routers request only from VC
-	// heads (with the routing decision cached); ideal switches additionally
-	// request from up to idealLookahead packets behind a blocked head, which
-	// removes head-of-line blocking.
+// act is the owning shard's active set, used to stage link activations for
+// their consumer shards; it is nil under the reference engine.
+func (r *Router) allocate(net *Network, now int64, shard int, act *shardActive) int {
+	// Build per-output request lists from occupied ports only. Ordinary
+	// routers request only from VC heads (with the routing decision
+	// cached); ideal switches additionally request from up to
+	// idealLookahead packets behind a blocked head, which removes
+	// head-of-line blocking. Request lists are empty on entry (each pass
+	// clears what it filled), so no clearing sweep is needed here.
 	if r.active == 0 || r.nextAlloc > now {
 		return 0
 	}
 	if r.requests == nil {
 		r.requests = make([][]int32, len(r.Out))
 	}
-	for o := range r.requests {
-		r.requests[o] = r.requests[o][:0]
-	}
-	anyReq := false
-	for in := range r.In {
-		ip := &r.In[in]
-		if ip.occMask == 0 {
-			continue
+	wide := r.wide
+	var outMask uint64
+	inIter := r.occPorts
+	in := -1
+	for {
+		// Next occupied input port: bitmask pop on ordinary routers, full
+		// scan on wide ones. Both visit ports in ascending order.
+		if wide {
+			in++
+			if in >= len(r.In) {
+				break
+			}
+			if r.In[in].occMask == 0 {
+				continue
+			}
+		} else {
+			if inIter == 0 {
+				break
+			}
+			in = bits.TrailingZeros64(inIter)
+			inIter &= inIter - 1
 		}
+		ip := &r.In[in]
 		for vc := range ip.VCs {
 			if ip.occMask&(1<<vc) == 0 {
 				continue
@@ -237,7 +270,7 @@ func (r *Router) allocate(net *Network, now int64, shard int) int {
 				q.routed = true
 			}
 			r.requests[q.outPort] = append(r.requests[q.outPort], reqKey(in, vc, 0))
-			anyReq = true
+			outMask |= 1 << uint(q.outPort)
 			if r.Ideal {
 				depth := q.size()
 				if depth > idealLookahead+1 {
@@ -246,17 +279,13 @@ func (r *Router) allocate(net *Network, now int64, shard int) int {
 				for i := 1; i < depth; i++ {
 					out, _ := net.route(net, r, q.at(i))
 					r.requests[out] = append(r.requests[out], reqKey(in, vc, i))
+					outMask |= 1 << uint(out)
 				}
 			}
 		}
 	}
-	if !anyReq {
-		return 0
-	}
-	if r.Ideal {
-		if r.granted == nil {
-			r.granted = make(map[int32]int64)
-		}
+	if r.Ideal && r.granted == nil {
+		r.granted = make([]int64, len(r.In)<<3)
 	}
 
 	moved := 0
@@ -265,12 +294,31 @@ func (r *Router) allocate(net *Network, now int64, shard int) int {
 	// (credits, input bandwidth), which are handled by event resets.
 	minWake := int64(1) << 62
 	otherwiseBlocked := false
-	for o := range r.Out {
+	outIter := outMask
+	o := -1
+	for {
+		// Next requested output, ascending either way — the per-cycle
+		// busyUntil and grant-epoch interactions rely on this order for
+		// determinism. Each visited list is consumed (reset to empty), so
+		// request lists are empty again when the pass completes.
+		if wide {
+			o++
+			if o >= len(r.Out) {
+				break
+			}
+			if len(r.requests[o]) == 0 {
+				continue
+			}
+		} else {
+			if outIter == 0 {
+				break
+			}
+			o = bits.TrailingZeros64(outIter)
+			outIter &= outIter - 1
+		}
 		op := &r.Out[o]
 		reqs := r.requests[o]
-		if len(reqs) == 0 {
-			continue
-		}
+		r.requests[o] = reqs[:0]
 		if op.busyUntil > now {
 			if op.busyUntil < minWake {
 				minWake = op.busyUntil
@@ -295,7 +343,7 @@ func (r *Router) allocate(net *Network, now int64, shard int) int {
 			} else {
 				// Ideal-switch lookahead request: at most one grant per VC
 				// queue per cycle keeps the queue indices valid.
-				if r.granted[reqKey(in, vc, 0)] == now+1 || qi >= q.size() {
+				if r.granted[grantIdx(in, vc)] == now+1 || qi >= q.size() {
 					continue
 				}
 				p = q.at(qi)
@@ -330,10 +378,13 @@ func (r *Router) allocate(net *Network, now int64, shard int) int {
 		p := q.removeAt(qi)
 		if q.empty() {
 			ip.occMask &^= 1 << vc
+			if ip.occMask == 0 {
+				r.occPorts &^= 1 << uint(in)
+			}
 			r.active--
 		}
 		if r.Ideal {
-			r.granted[reqKey(in, vc, 0)] = now + 1
+			r.granted[grantIdx(in, vc)] = now + 1
 		}
 		moved++
 		if ip.Link == nil {
@@ -348,6 +399,9 @@ func (r *Router) allocate(net *Network, now int64, shard int) int {
 				flits: p.Size,
 				vc:    uint8(vc),
 			})
+			if act != nil {
+				act.stageCreditLink(ip.Link)
+			}
 		}
 
 		if op.Link == nil {
@@ -379,6 +433,9 @@ func (r *Router) allocate(net *Network, now int64, shard int) int {
 		// Virtual cut-through: head available downstream after wire delay
 		// plus one cycle of flit time.
 		l.data.push(p, now+int64(l.Delay)+1)
+		if act != nil {
+			act.stageDataLink(l)
+		}
 	}
 	// Sleep until the earliest known unblock time when nothing moved and no
 	// blocker depends on asynchronous events (credits); arrivals, credit

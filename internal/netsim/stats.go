@@ -127,6 +127,9 @@ type Stats struct {
 	Hops          [NumHopClasses]int64
 	NetLatencySum int64
 	Latency       LatencyHist
+	// WatchdogTrips counts how many times the progress watchdog fired
+	// (Run/Drain returned ErrDeadlock) since the last reset.
+	WatchdogTrips int64
 }
 
 // MeanLatency returns the mean end-to-end latency in cycles of packets

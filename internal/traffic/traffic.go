@@ -289,6 +289,7 @@ type Rate struct {
 	PacketSize   int32
 	NodesPerChip int
 	prob         float64
+	thresh       uint64
 }
 
 // NewRate builds the generator; it precomputes the per-node probability.
@@ -300,16 +301,36 @@ func NewRate(p Pattern, flitsPerChip float64, packetSize int32, nodesPerChip int
 		NodesPerChip: nodesPerChip,
 	}
 	r.prob = flitsPerChip / float64(packetSize) / float64(nodesPerChip)
+	r.thresh = engine.BernoulliThreshold(r.prob)
 	return r
 }
 
-// NextDest implements netsim.Generator.
+// NextDest implements netsim.Generator. The precomputed integer threshold
+// decides bit-identically to rng.Bernoulli(prob) — this is the simulator's
+// single hottest RNG call (every injector, every cycle). The prob<=0 and
+// prob>=1 edges consume no randomness, exactly like Bernoulli.
 func (r *Rate) NextDest(now int64, srcChip int32, nodeIdx int, rng *engine.RNG) int32 {
-	if !rng.Bernoulli(r.prob) {
+	if r.prob <= 0 {
+		return -1
+	}
+	if r.prob < 1 && !rng.Hit(r.thresh) {
 		return -1
 	}
 	return r.Pattern.Dest(srcChip, rng)
 }
+
+// InjectionRate implements netsim.BernoulliGenerator, letting the cycle
+// engine inline the coin flip.
+func (r *Rate) InjectionRate() (prob float64, thresh uint64) {
+	return r.prob, r.thresh
+}
+
+// Dest implements netsim.BernoulliGenerator: the post-flip destination pick.
+func (r *Rate) Dest(now int64, srcChip int32, nodeIdx int, rng *engine.RNG) int32 {
+	return r.Pattern.Dest(srcChip, rng)
+}
+
+var _ netsim.BernoulliGenerator = (*Rate)(nil)
 
 var _ netsim.Generator = (*Rate)(nil)
 

@@ -31,8 +31,19 @@ import (
 	"sldf/internal/cost"
 	"sldf/internal/layout"
 	"sldf/internal/metrics"
+	"sldf/internal/netsim"
 	"sldf/internal/routing"
 	"sldf/internal/topology"
+)
+
+// Cycle engines (SimParams.Engine). Both produce bitwise-identical
+// statistics; the active-set engine skips quiescent routers and links.
+const (
+	// EngineActiveSet is the default worklist-driven engine.
+	EngineActiveSet = netsim.EngineActiveSet
+	// EngineReference is the full-scan serial-reference engine, kept so any
+	// active-set result can be cross-checked.
+	EngineReference = netsim.EngineReference
 )
 
 // System kinds.
@@ -80,6 +91,8 @@ type (
 	SLDFParams = topology.SLDFParams
 	// DragonflyParams sizes a switch-based Dragonfly.
 	DragonflyParams = topology.DragonflyParams
+	// EngineKind selects the cycle engine (see SimParams.Engine).
+	EngineKind = netsim.EngineKind
 	// RunOptions configure how a sweep's points execute (concurrent jobs,
 	// on-disk point cache).
 	RunOptions = core.RunOptions
