@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Ratcheted coverage gate.
+
+Usage: covgate.py <coverprofile> <floor-file>
+
+Computes statement coverage (total and per package) from a Go cover
+profile, writes a per-package markdown report to $GITHUB_STEP_SUMMARY
+(stdout when unset), and fails when total coverage drops below the
+committed floor. The floor is a ratchet: raise it in <floor-file> as
+coverage grows, so refactors cannot silently shed tests.
+"""
+import os
+import sys
+from collections import defaultdict
+
+
+def parse_profile(path):
+    """Per-package and total (covered, total) statement counts."""
+    pkg = defaultdict(lambda: [0, 0])
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("mode:"):
+                continue
+            # sldf/internal/core/sweep.go:31.44,36.2 3 1
+            loc, stmts, count = line.rsplit(" ", 2)
+            name = loc.split(":")[0]
+            p = name.rsplit("/", 1)[0]
+            n = int(stmts)
+            pkg[p][1] += n
+            if int(count) > 0:
+                pkg[p][0] += n
+    return pkg
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    profile, floor_file = sys.argv[1], sys.argv[2]
+    with open(floor_file) as f:
+        floor = float(f.read().strip())
+
+    pkg = parse_profile(profile)
+    covered = sum(c for c, _ in pkg.values())
+    total = sum(t for _, t in pkg.values())
+    pct = 100.0 * covered / total if total else 0.0
+
+    lines = ["## Coverage", "", "| package | statements | coverage |", "|---|---:|---:|"]
+    for p in sorted(pkg):
+        c, t = pkg[p]
+        lines.append(f"| {p} | {t} | {100.0 * c / t:.1f}% |")
+    lines.append(f"| **total** | **{total}** | **{pct:.1f}%** |")
+    lines.append("")
+    lines.append(f"Floor: {floor:.1f}% (`.github/workflows/coverage-floor.txt`)")
+    report = "\n".join(lines) + "\n"
+
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a") as f:
+            f.write(report)
+    print(report)
+
+    if pct < floor:
+        print(f"FAIL: total coverage {pct:.1f}% is below the {floor:.1f}% floor")
+        sys.exit(1)
+    print(f"OK: total coverage {pct:.1f}% >= floor {floor:.1f}%")
+    if pct - floor > 1.5:
+        print(
+            f"note: coverage exceeds the floor by {pct - floor:.1f} points; "
+            "consider ratcheting coverage-floor.txt up"
+        )
+
+
+if __name__ == "__main__":
+    main()

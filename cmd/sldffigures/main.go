@@ -42,11 +42,12 @@ var errUsage = errors.New("usage error")
 // (Fig. 15, the energy bars, has a different result shape and is handled
 // separately).
 var figRunners = map[string]func(core.Scale, core.RunOptions) ([]metrics.Figure, error){
-	"10": core.Fig10,
-	"11": core.Fig11,
-	"12": core.Fig12,
-	"13": core.Fig13,
-	"14": core.Fig14,
+	"10":         core.Fig10,
+	"11":         core.Fig11,
+	"12":         core.Fig12,
+	"13":         core.Fig13,
+	"14":         core.Fig14,
+	"resilience": core.FigResilience,
 }
 
 // run executes the command with the given arguments, writing summaries to
@@ -57,7 +58,7 @@ func run(args []string, w, errw io.Writer) error {
 	fs.SetOutput(errw)
 	quick := fs.Bool("quick", false, "CI-scale runs (small windows, thinner grids, radix-24 stand-in for Fig. 12)")
 	full := fs.Bool("full", false, "force paper-scale runs (Table IV windows)")
-	fig := fs.String("fig", "all", "which figure: 10 | 11 | 12 | 13 | 14 | 15 | all")
+	fig := fs.String("fig", "all", "which figure: 10 | 11 | 12 | 13 | 14 | 15 | resilience | all")
 	out := fs.String("out", "figures", "output directory for CSV files")
 	jobs := fs.Int("jobs", 1, "sweep points measured concurrently (results identical for any value)")
 	cacheDir := fs.String("cache", "", "directory for the on-disk point cache (empty = off); re-runs skip already-measured points")
@@ -68,9 +69,9 @@ func run(args []string, w, errw io.Writer) error {
 		return errUsage // the flag package already printed error + usage
 	}
 	switch *fig {
-	case "10", "11", "12", "13", "14", "15", "all":
+	case "10", "11", "12", "13", "14", "15", "resilience", "all":
 	default:
-		return fmt.Errorf("unknown -fig %q (want 10–15 or all)", *fig)
+		return fmt.Errorf("unknown -fig %q (want 10–15, resilience, or all)", *fig)
 	}
 
 	scale := core.ScaleQuick
@@ -94,7 +95,7 @@ func run(args []string, w, errw io.Writer) error {
 
 	want := func(id string) bool { return *fig == "all" || *fig == id }
 
-	for _, id := range []string{"10", "11", "12", "13", "14"} {
+	for _, id := range []string{"10", "11", "12", "13", "14", "resilience"} {
 		if !want(id) {
 			continue
 		}

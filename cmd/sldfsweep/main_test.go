@@ -63,6 +63,16 @@ func TestParseSystemSizes(t *testing.T) {
 	}
 }
 
+func TestFaultSpecFromFlags(t *testing.T) {
+	if spec := faultSpecFromFlags(0, 0, 42); !spec.Empty() {
+		t.Fatalf("zero fractions must stay pristine, got %+v", spec)
+	}
+	spec := faultSpecFromFlags(0.05, 0.02, 7)
+	if spec.Empty() || spec.Seed != 7 || spec.LinkFraction != 0.05 || spec.RouterFraction != 0.02 {
+		t.Fatalf("flags not mapped: %+v", spec)
+	}
+}
+
 func TestParseSystemGroupsOverride(t *testing.T) {
 	cfg, err := parseSystem("sw-less", "radix16", 1)
 	if err != nil {

@@ -64,10 +64,24 @@ type Config struct {
 	// uniform, 2 = "2B", 4 = "4B".
 	IntraWidth int32
 
+	// Faults injects deterministic component failures at build time
+	// (defective dies, cut cables) and switches routing to the fault-aware
+	// algorithms; see topology.FaultSpec and the routing package. An empty
+	// spec leaves the build bitwise identical to a fault-free one. Faulted
+	// networks provision FaultVCs virtual channels per link so degraded
+	// detours keep one VC per C-group traversal.
+	Faults topology.FaultSpec
+
 	Seed           uint64
 	Workers        int
 	WatchdogCycles int64
 }
+
+// FaultVCs is the per-link virtual-channel provisioning of faulted builds:
+// the netsim maximum, giving degraded detours the deepest available VC
+// ladder. The fault-aware routing constructors verify the degraded
+// diameter fits and fail with routing.ErrDegradedVCs otherwise.
+const FaultVCs = 8
 
 // SimParams are the measurement-window parameters (paper Table IV).
 type SimParams struct {
@@ -134,6 +148,9 @@ func Radix24DF() topology.DragonflyParams {
 func (c Config) validate() error {
 	if c.IntraWidth != 0 && c.IntraWidth != 1 && c.IntraWidth != 2 && c.IntraWidth != 4 {
 		return fmt.Errorf("core: IntraWidth must be 1, 2 or 4 (got %d)", c.IntraWidth)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"sldf/internal/netsim"
 	"sldf/internal/routing"
+	"sldf/internal/topology"
 )
 
 // TestPointKeyEnginePartition pins down the cache semantics of the engine
@@ -165,6 +166,116 @@ func TestEngineEquivalenceParallel(t *testing.T) {
 				t.Fatalf("stats diverged:\nreference: %+v\nactive:    %+v", ref.Stats, act.Stats)
 			}
 		})
+	}
+}
+
+// TestEngineEquivalenceFaulted extends the tentpole's correctness gate to
+// degraded topologies: with disabled links and routers, the active-set
+// engine must remain bitwise identical to the full-scan reference engine —
+// dead routers must never enter the bitmap, dead links never park on the
+// timing wheel, and neither may perturb the shared injector walk. Covers
+// every system kind that admits faults, plus Valiant detours on the full
+// multi-W-group system.
+func TestEngineEquivalenceFaulted(t *testing.T) {
+	swl1 := faultedTinyCfg(routing.Minimal)
+	mesh := Config{Kind: MeshCGroup, ChipletDim: 4, NoCDim: 2, Seed: 5}
+	mesh.Faults = topology.FaultSpec{Seed: 2, LinkFraction: 0.08, RouterFraction: 0.04}
+	swb := Config{Kind: SwitchDragonfly, DF: Radix16DF(), Seed: 5}
+	swb.Faults = topology.FaultSpec{Seed: 1, LinkFraction: 0.05}
+	swlFull := Config{Kind: SwitchlessDragonfly, SLDF: Radix16SLDF(), Seed: 9}
+	swlFull.Faults = topology.FaultSpec{Seed: 1, LinkFraction: 0.04, RouterFraction: 0.02}
+	swlMis := swlFull
+	swlMis.Mode = routing.Valiant
+	cases := []struct {
+		name    string
+		cfg     Config
+		pattern string
+		rate    float64
+		sp      SimParams
+	}{
+		{"mesh", mesh, "uniform", 0.8, tinySim()},
+		{"sw-less-g1", swl1, "bit-reverse", 0.6, tinySim()},
+		{"sw-based", swb, "uniform", 0.2, shortSim()},
+		{"sw-less-full", swlFull, "worst-case", 0.1, shortSim()},
+		{"sw-less-full-mis", swlMis, "uniform", 0.2, shortSim()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := measureEngineSim(t, tc.cfg, tc.pattern, tc.rate, netsim.EngineReference, tc.sp)
+			act := measureEngineSim(t, tc.cfg, tc.pattern, tc.rate, netsim.EngineActiveSet, tc.sp)
+			if !reflect.DeepEqual(ref.Stats, act.Stats) {
+				t.Fatalf("stats diverged:\nreference: %+v\nactive:    %+v", ref.Stats, act.Stats)
+			}
+			if ref.Utilization != act.Utilization {
+				t.Fatalf("utilization diverged: %v vs %v", ref.Utilization, act.Utilization)
+			}
+			if ref.Stats.DeliveredPkts == 0 {
+				t.Fatal("no traffic delivered; the comparison is vacuous")
+			}
+		})
+	}
+}
+
+// shortSim is the multi-W-group window: 1312 chips give plenty of packets.
+func shortSim() SimParams {
+	return SimParams{Warmup: 100, Measure: 200, ExtraDrain: 100, PacketSize: 4}
+}
+
+// TestEngineEquivalenceFaultedParallel checks cross-shard staging on a
+// degraded network: multi-worker active-set runs must match the serial
+// reference bit for bit when links and routers are disabled.
+func TestEngineEquivalenceFaultedParallel(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			cfg := faultedTinyCfg(routing.Minimal)
+			cfg.Workers = workers
+			serial := cfg
+			serial.Workers = 1
+			ref := measureEngine(t, serial, "uniform", 0.8, netsim.EngineReference)
+			act := measureEngine(t, cfg, "uniform", 0.8, netsim.EngineActiveSet)
+			if !reflect.DeepEqual(ref.Stats, act.Stats) {
+				t.Fatalf("stats diverged:\nreference: %+v\nactive:    %+v", ref.Stats, act.Stats)
+			}
+			if ref.Stats.DeliveredPkts == 0 {
+				t.Fatal("no traffic delivered; the comparison is vacuous")
+			}
+		})
+	}
+}
+
+// TestEngineEquivalenceFaultedAfterReset checks the build-once/measure-many
+// path on a degraded network: fault state must survive Reset, and a reset
+// faulted system under the active-set engine must equal a fresh faulted
+// build measured with the reference engine.
+func TestEngineEquivalenceFaultedAfterReset(t *testing.T) {
+	cfg := faultedTinyCfg(routing.Minimal)
+	sys, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	wantR, wantL := sys.Net.DisabledCounts()
+	pat, err := sys.PatternFor("uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := tinySim()
+	sp.Engine = netsim.EngineActiveSet
+	// Saturate first so the reset has in-flight packets to discard.
+	if _, err := sys.MeasureLoad(pat, 1.6, sp); err != nil {
+		t.Fatal(err)
+	}
+	sys.Reset()
+	if gotR, gotL := sys.Net.DisabledCounts(); gotR != wantR || gotL != wantL {
+		t.Fatalf("Reset changed the fault set: (%d, %d) → (%d, %d)", wantR, wantL, gotR, gotL)
+	}
+	act, err := sys.MeasureLoad(pat, 0.3, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := measureEngine(t, cfg, "uniform", 0.3, netsim.EngineReference)
+	if !reflect.DeepEqual(ref.Stats, act.Stats) {
+		t.Fatalf("stats diverged:\nreference (fresh): %+v\nactive (reset):    %+v", ref.Stats, act.Stats)
 	}
 }
 

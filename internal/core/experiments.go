@@ -411,3 +411,57 @@ func withMode(c Config, m routing.Mode) Config {
 	c.Mode = m
 	return c
 }
+
+// FigResilience is the degraded-topology experiment (no counterpart in the
+// paper, which simulates pristine networks): mean latency and accepted
+// throughput of the radix-16 systems under uniform traffic as an
+// increasing fraction of channels (and, scaled at 1:2, routers) fails.
+// Curves: the switch-based baseline and the switch-less system with
+// minimal routing, plus the switch-less system with Valiant misrouting.
+//
+// The zero-fraction point is the pristine network under its paper routing;
+// faulted points use the fault-aware routing (C-group-graph shortest
+// paths, up*/down* inside C-groups), so part of the first step's latency
+// offset is the discipline change, not the faults. Each point averages the
+// fault seeds' clean draws; partitioned draws are dropped (quick scale
+// keeps fractions low enough that this is rare).
+func FigResilience(scale Scale, opts RunOptions) ([]metrics.Figure, error) {
+	fractions := []float64{0, 0.02, 0.05, 0.1, 0.15}
+	seeds := []uint64{1, 2, 3}
+	if scale == ScaleQuick {
+		fractions = []float64{0, 0.05, 0.1}
+		seeds = []uint64{1, 2}
+	}
+	ropts := ResilienceOpts{
+		Fractions:   fractions,
+		RouterScale: 0.5,
+		Seeds:       seeds,
+		Pattern:     "uniform",
+		Rate:        0.2,
+		Sim:         scale.Sim(),
+		Run:         opts,
+	}
+	swb := Config{Kind: SwitchDragonfly, DF: Radix16DF(), Seed: seed}
+	swl := Config{Kind: SwitchlessDragonfly, SLDF: Radix16SLDF(), Seed: seed}
+	swlMis := withMode(swl, routing.Valiant)
+
+	fig := metrics.Figure{Name: "figres", Title: "Resilience: Uniform @ 0.2 flits/cycle/chip",
+		XLabel: "Channel Failure Fraction", YLabel: "Average Latency (cycles)"}
+	for _, c := range []struct {
+		cfg   Config
+		label string
+	}{
+		{swb, "sw-based"},
+		{swl, "sw-less"},
+		{swlMis, "sw-less-mis"},
+	} {
+		rs, err := ResilienceSweep(c.cfg, ropts)
+		if err != nil {
+			return nil, fmt.Errorf("figres (%s): %w", c.label, err)
+		}
+		s := rs.Series()
+		s.Label = c.label
+		fig.Series = append(fig.Series, s)
+	}
+	return []metrics.Figure{fig}, nil
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sldf/internal/routing"
+	"sldf/internal/topology"
+)
+
+// -update regenerates the golden fixtures instead of diffing against them:
+//
+//	go test ./internal/core -run TestGoldenStats -update
+var updateGolden = flag.Bool("update", false, "rewrite golden-stats fixtures")
+
+// goldenCases pins one small configuration per system kind under a benign
+// and an adversarial pattern, plus one deterministic faulted build. The
+// committed fixtures lock the simulator's complete Stats output — every
+// counter, the hop mix, the full latency histogram — so an engine or
+// performance refactor that silently changes results fails here first.
+func goldenCases() []struct {
+	name string
+	cfg  Config
+} {
+	swb := Config{Kind: SwitchDragonfly, DF: Radix16DF(), Seed: 7}
+	swb.DF.G = 1
+	swl := Config{Kind: SwitchlessDragonfly, SLDF: Radix16SLDF(), Seed: 7}
+	swl.SLDF.G = 1
+	faulted := swl
+	faulted.Faults = topology.FaultSpec{Seed: 4, LinkFraction: 0.08, RouterFraction: 0.04}
+	faultedMis := faulted
+	faultedMis.Mode = routing.Valiant
+	return []struct {
+		name string
+		cfg  Config
+	}{
+		{"switch", Config{Kind: SingleSwitch, Terminals: 4, Seed: 7}},
+		{"mesh", Config{Kind: MeshCGroup, ChipletDim: 2, NoCDim: 2, Seed: 7}},
+		{"sw-based", swb},
+		{"sw-less", swl},
+		{"sw-less-faulted", faulted},
+		{"sw-less-faulted-mis", faultedMis},
+	}
+}
+
+// goldenPatterns pairs each kind with a benign and an adversarial load.
+var goldenPatterns = []struct {
+	pattern string
+	rate    float64
+}{
+	{"uniform", 0.4},
+	{"bit-reverse", 0.4},
+}
+
+func TestGoldenStats(t *testing.T) {
+	for _, c := range goldenCases() {
+		for _, pr := range goldenPatterns {
+			name := fmt.Sprintf("%s-%s", c.name, pr.pattern)
+			t.Run(name, func(t *testing.T) {
+				sys, err := Build(c.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer sys.Close()
+				pat, err := sys.PatternFor(pr.pattern)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sys.MeasureLoad(pat, pr.rate, tinySim())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Stats.DeliveredPkts == 0 {
+					t.Fatal("no traffic delivered; the fixture would be vacuous")
+				}
+				got, err := json.MarshalIndent(res.Stats, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, '\n')
+				path := filepath.Join("testdata", "golden_"+name+".json")
+				if *updateGolden {
+					if err := os.WriteFile(path, got, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("%v (run with -update to generate)", err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("stats diverged from %s.\nIf the change is intentional, regenerate with:\n"+
+						"  go test ./internal/core -run TestGoldenStats -update\ngot:\n%s", path, got)
+				}
+			})
+		}
+	}
+}

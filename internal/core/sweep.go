@@ -84,11 +84,19 @@ func (c Config) Label() string {
 
 // cacheID canonically serializes every configuration field that affects
 // measured results. Workers and WatchdogCycles are deliberately excluded:
-// they change how a simulation executes, never what it measures.
+// they change how a simulation executes, never what it measures. The fault
+// component is appended only when faults are injected, keeping fault-free
+// keys byte-compatible with existing caches.
 func (c Config) cacheID() string {
-	return fmt.Sprintf("kind=%d df=%+v sldf=%+v term=%d chiplet=%d noc=%d scheme=%d mode=%d width=%d seed=%#x",
+	id := fmt.Sprintf("kind=%d df=%+v sldf=%+v term=%d chiplet=%d noc=%d scheme=%d mode=%d width=%d seed=%#x",
 		c.Kind, c.DF, c.SLDF, c.Terminals, c.ChipletDim, c.NoCDim,
 		c.Scheme, c.Mode, c.IntraWidth, c.Seed)
+	if !c.Faults.Empty() {
+		id += fmt.Sprintf(" faults={seed:%#x lf:%.17g rf:%.17g links:%v routers:%v}",
+			c.Faults.Seed, c.Faults.LinkFraction, c.Faults.RouterFraction,
+			c.Faults.Links, c.Faults.Routers)
+	}
+	return id
 }
 
 // pointKey is the on-disk cache key for one measured load point. The

@@ -26,7 +26,15 @@ type System struct {
 	// SwitchlessDragonfly (nil otherwise); likewise DF for the baseline.
 	SLDF *topology.SLDF
 	DF   *topology.Dragonfly
+
+	// aliveChips marks chips with a surviving terminal; nil when every
+	// chip is alive. MeasureLoad uses it to silence traffic aimed at dead
+	// chips on degraded builds.
+	aliveChips []bool
 }
+
+// DeadChips returns the chips the fault set removed from the workload.
+func (s *System) DeadChips() []int32 { return s.Net.DeadChips() }
 
 // Build constructs the system described by cfg.
 func Build(cfg Config) (*System, error) {
@@ -39,6 +47,8 @@ func Build(cfg Config) (*System, error) {
 	}
 	sys := &System{Cfg: cfg}
 
+	faulted := !cfg.Faults.Empty()
+
 	switch cfg.Kind {
 	case SingleSwitch:
 		classes := topology.DefaultLinkClasses(1, width)
@@ -46,7 +56,20 @@ func Build(cfg Config) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.Net.SetRoute(s.Route())
+		if faulted {
+			if err := applyFaultSpec(s.Net, cfg.Faults, s.FaultDomain(), nil); err != nil {
+				s.Net.Close()
+				return nil, err
+			}
+			route, err := routing.NewFaultSwitchRoute(s)
+			if err != nil {
+				s.Net.Close()
+				return nil, err
+			}
+			s.Net.SetRoute(route)
+		} else {
+			s.Net.SetRoute(s.Route())
+		}
 		sys.Net = s.Net
 		sys.Groups = 1
 
@@ -56,22 +79,52 @@ func Build(cfg Config) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		g.Net.SetRoute(g.RouteXY())
+		if faulted {
+			if err := applyFaultSpec(g.Net, cfg.Faults, g.FaultDomain(), g.FaultClosure); err != nil {
+				g.Net.Close()
+				return nil, err
+			}
+			route, err := routing.NewFaultMeshRoute(g)
+			if err != nil {
+				g.Net.Close()
+				return nil, err
+			}
+			g.Net.SetRoute(route)
+		} else {
+			g.Net.SetRoute(g.RouteXY())
+		}
 		sys.Net = g.Net
 		sys.Groups = 1
 
 	case SwitchDragonfly:
 		vcs := routing.DragonflyVCCount(cfg.Mode)
+		if faulted {
+			vcs = FaultVCs
+		}
 		classes := topology.DefaultLinkClasses(vcs, width)
 		df, err := topology.BuildDragonfly(cfg.DF, classes, cfg.netOptions())
 		if err != nil {
 			return nil, err
 		}
-		route, err := routing.DragonflyRoute(df, cfg.Mode)
-		if err != nil {
-			return nil, err
+		if faulted {
+			if err := applyFaultSpec(df.Net, cfg.Faults, df.FaultDomain(), nil); err != nil {
+				df.Net.Close()
+				return nil, err
+			}
+			fd, err := routing.NewFaultDragonflyRoute(df, cfg.Mode)
+			if err != nil {
+				df.Net.Close()
+				return nil, err
+			}
+			df.Net.SetRoute(fd.Func())
+		} else {
+			route, err := routing.DragonflyRoute(df, cfg.Mode)
+			if err != nil {
+				df.Net.Close()
+				return nil, err
+			}
+			df.Net.SetRoute(route)
 		}
-		df.Net.SetRoute(route)
 		sys.Net = df.Net
 		sys.DF = df
 		sys.Groups = cfg.DF.Groups()
@@ -86,16 +139,33 @@ func Build(cfg Config) (*System, error) {
 			params.Layout = topology.LayoutSouthNorth
 		}
 		vcs := routing.SLDFVCCount(cfg.Scheme, cfg.Mode)
+		if faulted {
+			vcs = FaultVCs
+		}
 		classes := topology.DefaultLinkClasses(vcs, width)
 		s, err := topology.BuildSLDF(params, classes, cfg.netOptions())
 		if err != nil {
 			return nil, err
 		}
-		sr, err := routing.NewSLDFRouter(s, cfg.Scheme, cfg.Mode)
-		if err != nil {
-			return nil, err
+		if faulted {
+			if err := applyFaultSpec(s.Net, cfg.Faults, s.FaultDomain(), s.FaultClosure); err != nil {
+				s.Net.Close()
+				return nil, err
+			}
+			fr, err := routing.NewFaultSLDFRouter(s, cfg.Scheme, cfg.Mode)
+			if err != nil {
+				s.Net.Close()
+				return nil, err
+			}
+			fr.Install(s.Net)
+		} else {
+			sr, err := routing.NewSLDFRouter(s, cfg.Scheme, cfg.Mode)
+			if err != nil {
+				s.Net.Close()
+				return nil, err
+			}
+			sr.Install(s.Net)
 		}
-		sr.Install(s.Net)
 		sys.Net = s.Net
 		sys.SLDF = s
 		sys.Groups = params.Groups()
@@ -106,9 +176,47 @@ func Build(cfg Config) (*System, error) {
 
 	sys.Label = cfg.Label()
 	sys.Chips = sys.Net.NumChips()
-	sys.NodesPerChip = len(sys.Net.ChipNodes[0])
+	// NodesPerChip is the pristine per-chip injector count, derived from
+	// the configuration rather than the (possibly degraded) node tables:
+	// the injection rate is split across this count, so a chip that lost
+	// cores keeps the same per-node rate and simply offers proportionally
+	// less load.
+	switch cfg.Kind {
+	case MeshCGroup:
+		sys.NodesPerChip = cfg.NoCDim * cfg.NoCDim
+	case SwitchlessDragonfly:
+		sys.NodesPerChip = cfg.SLDF.NoCDim * cfg.SLDF.NoCDim
+	default: // one NIC per chip
+		sys.NodesPerChip = 1
+	}
 	sys.ChipsPerGroup = sys.Chips / sys.Groups
+	if dead := sys.Net.DeadChips(); len(dead) > 0 {
+		sys.aliveChips = make([]bool, sys.Chips)
+		for c := int32(0); c < int32(sys.Chips); c++ {
+			sys.aliveChips[c] = sys.Net.ChipAlive(c)
+		}
+	}
 	return sys, nil
+}
+
+// applyFaultSpec validates spec, resolves it against the topology's fault
+// domain and disables the drawn components, tolerating chips that lose
+// every terminal (they drop out of the workload; MeasureLoad filters
+// traffic aimed at them). closure, when non-nil, is the topology's
+// fault-closure hook: nodes the drawn faults cut off from the surviving
+// network (e.g. a core isolated inside its C-group mesh) are added to the
+// fault set, so a chip keeps only reachable terminals.
+func applyFaultSpec(net *netsim.Network, spec topology.FaultSpec, domain topology.FaultDomain,
+	closure func([]netsim.NodeID, []int32) []netsim.NodeID) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	routers, links := spec.Resolve(domain)
+	if closure != nil {
+		routers = append(routers, closure(routers, links)...)
+	}
+	_, err := net.ApplyFaultsTolerant(routers, links)
+	return err
 }
 
 // Close releases the system's worker pool.
@@ -141,6 +249,7 @@ type Result struct {
 // System for the next point.
 func (s *System) MeasureLoad(pat traffic.Pattern, rate float64, sp SimParams) (Result, error) {
 	s.Net.SetEngine(sp.Engine)
+	pat = traffic.FilterDead(pat, s.aliveChips)
 	gen := traffic.NewRate(pat, rate, sp.PacketSize, s.NodesPerChip)
 	s.Net.SetTraffic(gen, sp.PacketSize, netsim.DstSameIndex)
 	if err := s.Net.Run(sp.Warmup); err != nil {

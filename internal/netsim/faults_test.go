@@ -1,0 +1,222 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+
+	"sldf/internal/engine"
+)
+
+// buildFaultRing constructs a ring of n core routers (each its own chip) with a
+// clockwise-only routing function. There is no path diversity: tests pick
+// traffic whose clockwise arcs avoid the faulted segment.
+func buildFaultRing(t testing.TB, n int, opts NetworkOptions) *Network {
+	t.Helper()
+	spec := LinkSpec{Delay: 1, Width: 1, Class: HopShortReach, VCs: 1, BufFlits: 32}
+	b := NewBuilder()
+	ids := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = b.AddRouter(KindCore)
+		b.Router(ids[i]).X = int16(i)
+		b.AddTerminal(ids[i], int32(i), 0)
+	}
+	for i := 0; i < n; i++ {
+		b.Connect(ids[i], ids[(i+1)%n], spec) // Out[1] = clockwise
+	}
+	net, err := b.Finalize(opts)
+	if err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	net.SetRoute(func(net *Network, r *Router, p *Packet) (int, uint8) {
+		if p.DstNode == r.ID {
+			return int(r.EjectOut), 0
+		}
+		return 1, 0
+	})
+	return net
+}
+
+func TestApplyFaultsDisablesIncidentLinks(t *testing.T) {
+	net := buildTwoNodeChip(t, NetworkOptions{Seed: 1, Workers: 1})
+	defer net.Close()
+	if net.Faulted() {
+		t.Fatal("fresh network reports faults")
+	}
+	// Router 1 is one of chip 0's two terminals: disabling it must take its
+	// two links (1→hub, hub→1) with it while chip 0 stays alive.
+	if err := net.ApplyFaults([]NodeID{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Routers[1].Disabled {
+		t.Fatal("router 1 not disabled")
+	}
+	for _, l := range net.Links {
+		incident := l.Src == 1 || l.Dst == 1
+		if l.Disabled != incident {
+			t.Fatalf("link %d→%d disabled=%v, want %v", l.Src, l.Dst, l.Disabled, incident)
+		}
+	}
+	r, l := net.DisabledCounts()
+	if r != 1 || l != 2 {
+		t.Fatalf("DisabledCounts = (%d, %d), want (1, 2)", r, l)
+	}
+}
+
+func TestApplyFaultsDeadChip(t *testing.T) {
+	net := buildFaultRing(t, 4, NetworkOptions{Seed: 1, Workers: 1})
+	defer net.Close()
+	err := net.ApplyFaults([]NodeID{1}, nil)
+	if err == nil {
+		t.Fatal("disabling chip 1's only terminal must fail")
+	}
+	if !errors.Is(err, ErrDeadChip) {
+		t.Fatalf("error %v does not wrap ErrDeadChip", err)
+	}
+	var dce *DeadChipError
+	if !errors.As(err, &dce) || dce.Chip != 1 {
+		t.Fatalf("error %v is not DeadChipError{Chip: 1}", err)
+	}
+}
+
+func TestApplyFaultsValidation(t *testing.T) {
+	net := buildFaultRing(t, 4, NetworkOptions{Seed: 1, Workers: 1})
+	defer net.Close()
+	if err := net.ApplyFaults([]NodeID{99}, nil); err == nil {
+		t.Fatal("out-of-range router accepted")
+	}
+	if err := net.ApplyFaults(nil, []int32{-1}); err == nil {
+		t.Fatal("out-of-range link accepted")
+	}
+	net.Step()
+	if err := net.ApplyFaults(nil, nil); err == nil {
+		t.Fatal("ApplyFaults after Step accepted")
+	}
+}
+
+// buildTwoNodeChip constructs chip 0 with two terminal routers (0, 1) and
+// chip 1 with one terminal router (2), a star around router 2.
+func buildTwoNodeChip(t testing.TB, opts NetworkOptions) *Network {
+	t.Helper()
+	spec := LinkSpec{Delay: 1, Width: 1, Class: HopShortReach, VCs: 1, BufFlits: 32}
+	b := NewBuilder()
+	a := b.AddRouter(KindCore)
+	b.AddTerminal(a, 0, 0)
+	c := b.AddRouter(KindCore)
+	b.AddTerminal(c, 0, 1)
+	hub := b.AddRouter(KindCore)
+	b.AddTerminal(hub, 1, 0)
+	b.ConnectBidi(a, hub, spec)
+	b.ConnectBidi(c, hub, spec)
+	net, err := b.Finalize(opts)
+	if err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	net.SetRoute(func(net *Network, r *Router, p *Packet) (int, uint8) {
+		if p.DstNode == r.ID {
+			return int(r.EjectOut), 0
+		}
+		if r.ID != hub {
+			return 1, 0 // only one real out port: to the hub
+		}
+		if p.DstNode == a {
+			return 1, 0
+		}
+		return 2, 0
+	})
+	return net
+}
+
+// TestDisabledTerminalLeavesChipAddressable locks the terminal-side fault
+// semantics: a disabled terminal router is dropped from the injector walk
+// and from its chip's node table (remaining nodes re-indexed), so traffic
+// to the chip lands on the surviving terminal under both engines.
+func TestDisabledTerminalLeavesChipAddressable(t *testing.T) {
+	for _, kind := range []EngineKind{EngineReference, EngineActiveSet} {
+		net := buildTwoNodeChip(t, NetworkOptions{Seed: 7, Workers: 1, Engine: kind})
+		if err := net.ApplyFaults([]NodeID{1}, nil); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if got := len(net.ChipNodes[0]); got != 1 || net.ChipNodes[0][0] != 0 {
+			t.Fatalf("%v: ChipNodes[0] = %v, want [0]", kind, net.ChipNodes[0])
+		}
+		if net.Routers[0].Local != 0 {
+			t.Fatalf("%v: surviving node Local = %d, want 0", kind, net.Routers[0].Local)
+		}
+		// Every alive terminal sends one packet to the other chip; the
+		// disabled terminal must stay silent.
+		gen := GeneratorFunc(func(now int64, src int32, node int, rng *engine.RNG) int32 {
+			if now == 0 {
+				return 1 - src
+			}
+			return -1
+		})
+		net.SetTraffic(gen, 4, DstSameIndex)
+		net.StartMeasurement()
+		if err := net.Run(1); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if _, err := net.Drain(200); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		st := net.Snapshot()
+		if st.InjectedPkts != 2 || st.DeliveredPkts != 2 {
+			t.Fatalf("%v: injected/delivered = %d/%d, want 2/2 (disabled terminal must not inject)",
+				kind, st.InjectedPkts, st.DeliveredPkts)
+		}
+		net.Close()
+	}
+}
+
+// TestFaultedRunBothEngines runs a ring with a disabled transit router and
+// traffic confined to alive arcs, checking bitwise-equal stats between the
+// reference and active-set engines and that faults survive Reset.
+func TestFaultedRunBothEngines(t *testing.T) {
+	measure := func(kind EngineKind, reset bool) Stats {
+		net := buildFaultRing(t, 8, NetworkOptions{Seed: 3, Workers: 1, Engine: kind})
+		defer net.Close()
+		// Fail only link 5→6; the one-step clockwise traffic below (src 0..3)
+		// keeps to arcs 0→1 ... 3→4 and never touches it.
+		if err := net.ApplyFaults(nil, []int32{5}); err != nil {
+			t.Fatal(err)
+		}
+		gen := GeneratorFunc(func(now int64, src int32, node int, rng *engine.RNG) int32 {
+			if now < 5 && src < 4 {
+				return src + 1 // clockwise one step, never crossing link 5→6
+			}
+			return -1
+		})
+		run := func() Stats {
+			net.SetTraffic(gen, 4, DstSameIndex)
+			net.StartMeasurement()
+			if err := net.Run(5); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := net.Drain(300); err != nil {
+				t.Fatal(err)
+			}
+			net.StopMeasurement()
+			return net.Snapshot()
+		}
+		st := run()
+		if reset {
+			net.Reset()
+			if !net.Links[5].Disabled {
+				t.Fatal("Reset cleared the fault")
+			}
+			st = run()
+		}
+		return st
+	}
+	ref := measure(EngineReference, false)
+	act := measure(EngineActiveSet, false)
+	actReset := measure(EngineActiveSet, true)
+	if ref != act {
+		t.Fatalf("stats diverged:\nreference: %+v\nactive:    %+v", ref, act)
+	}
+	if ref != actReset {
+		t.Fatalf("stats diverged after reset:\nreference: %+v\nreset:     %+v", ref, actReset)
+	}
+	if ref.DeliveredPkts == 0 {
+		t.Fatal("no traffic delivered; comparison vacuous")
+	}
+}

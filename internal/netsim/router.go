@@ -173,6 +173,12 @@ type Router struct {
 	// speedup, modelling the paper's "single ideal high-radix router".
 	Ideal bool
 
+	// Disabled marks a failed router (defective die). Set through
+	// Network.ApplyFaults before simulation starts; a disabled router never
+	// injects, never receives traffic (fault-aware routing avoids it), and
+	// therefore never enters an engine's active set.
+	Disabled bool
+
 	// active counts non-empty (input port, VC) queues; allocation is
 	// skipped entirely while it is zero.
 	active int32

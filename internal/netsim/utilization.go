@@ -11,7 +11,9 @@ type LinkUtil struct {
 
 // LinkUtilization returns per-class aggregate utilization and the k most
 // loaded links, for bottleneck analysis (e.g. showing the C-group mesh
-// bisection saturating in Fig. 12 while global channels idle).
+// bisection saturating in Fig. 12 while global channels idle). Disabled
+// links carry no flits and contribute no capacity: class utilization is
+// relative to the surviving links of the class.
 func (n *Network) LinkUtilization(k int) (byClass [NumHopClasses]float64, hottest []LinkUtil) {
 	end := n.measEnd
 	if n.measuring || end > n.Cycle {
@@ -24,6 +26,9 @@ func (n *Network) LinkUtilization(k int) (byClass [NumHopClasses]float64, hottes
 	var classFlits, classCap [NumHopClasses]float64
 	utils := make([]LinkUtil, 0, len(n.Links))
 	for _, l := range n.Links {
+		if l.Disabled {
+			continue
+		}
 		capacity := float64(l.Width) * float64(window)
 		u := LinkUtil{Link: l, Flits: l.winFlits}
 		if capacity > 0 {

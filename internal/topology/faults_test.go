@@ -1,0 +1,158 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+
+	"sldf/internal/netsim"
+)
+
+func TestFaultSpecEmptyAndValidate(t *testing.T) {
+	if !(FaultSpec{}).Empty() {
+		t.Fatal("zero spec not Empty")
+	}
+	for _, f := range []FaultSpec{
+		{LinkFraction: 0.1},
+		{RouterFraction: 0.1},
+		{Links: []int32{3}},
+		{Routers: []netsim.NodeID{2}},
+	} {
+		if f.Empty() {
+			t.Fatalf("%+v reported Empty", f)
+		}
+		if err := f.Validate(); err != nil {
+			t.Fatalf("%+v: %v", f, err)
+		}
+	}
+	for _, f := range []FaultSpec{{LinkFraction: -0.1}, {LinkFraction: 1.5}, {RouterFraction: 2}} {
+		if err := f.Validate(); err == nil {
+			t.Fatalf("%+v validated", f)
+		}
+	}
+}
+
+func TestFaultResolveDeterministicAndSeedSensitive(t *testing.T) {
+	s, err := BuildSLDF(smallSLDF(LayoutPerimeter), DefaultLinkClasses(4, 1), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Net.Close()
+	d := s.FaultDomain()
+	if len(d.Channels) == 0 || len(d.Routers) == 0 {
+		t.Fatalf("SLDF domain empty: %d channels, %d routers", len(d.Channels), len(d.Routers))
+	}
+	spec := FaultSpec{Seed: 42, LinkFraction: 0.2, RouterFraction: 0.1}
+	r1, l1 := spec.Resolve(d)
+	r2, l2 := spec.Resolve(d)
+	if !reflect.DeepEqual(r1, r2) || !reflect.DeepEqual(l1, l2) {
+		t.Fatal("Resolve is not deterministic")
+	}
+	if len(l1) == 0 || len(r1) == 0 {
+		t.Fatalf("Resolve sampled nothing: %d links, %d routers", len(l1), len(r1))
+	}
+	if len(l1)%2 != 0 {
+		t.Fatalf("links must come in channel pairs, got %d", len(l1))
+	}
+	other := spec
+	other.Seed = 43
+	r3, l3 := other.Resolve(d)
+	if reflect.DeepEqual(r1, r3) && reflect.DeepEqual(l1, l3) {
+		t.Fatal("different seeds sampled identical fault sets")
+	}
+	// Explicit components ride along untouched.
+	spec.Links = []int32{7}
+	spec.Routers = []netsim.NodeID{1}
+	r4, l4 := spec.Resolve(d)
+	if l4[len(l4)-1] != 7 || r4[len(r4)-1] != 1 {
+		t.Fatal("explicit faults not appended")
+	}
+}
+
+func TestFaultDomainEligibility(t *testing.T) {
+	// SLDF: every sampled channel must be core↔core or a long-reach cable;
+	// every sampled router a port module or a core of a multi-core chip.
+	s, err := BuildSLDF(smallSLDF(LayoutSouthNorth), DefaultLinkClasses(4, 1), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Net.Close()
+	d := s.FaultDomain()
+	for _, ch := range d.Channels {
+		fwd := s.Net.Links[ch[0]]
+		rev := s.Net.Links[ch[1]]
+		if fwd.Src != rev.Dst || fwd.Dst != rev.Src {
+			t.Fatalf("channel %v is not an opposite-direction pair", ch)
+		}
+		if fwd.Class == netsim.HopOnChip || fwd.Class == netsim.HopShortReach {
+			if s.Net.Router(fwd.Src).Kind != netsim.KindCore || s.Net.Router(fwd.Dst).Kind != netsim.KindCore {
+				t.Fatalf("short channel %v touches a non-core router", ch)
+			}
+		}
+	}
+	for _, id := range d.Routers {
+		r := s.Net.Router(id)
+		if r.Kind == netsim.KindPort {
+			continue
+		}
+		if r.Kind != netsim.KindCore || len(s.Net.ChipNodes[r.Chip]) < 2 {
+			t.Fatalf("router %d (kind %v) is not safely failable", id, r.Kind)
+		}
+	}
+
+	// Dragonfly: channels only, all inter-switch.
+	df, err := BuildDragonfly(DragonflyParams{P: 2, A: 2, H: 1}, DefaultLinkClasses(2, 1), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer df.Net.Close()
+	dd := df.FaultDomain()
+	if len(dd.Routers) != 0 {
+		t.Fatalf("dragonfly domain samples routers: %v", dd.Routers)
+	}
+	if len(dd.Channels) == 0 {
+		t.Fatal("dragonfly domain has no channels")
+	}
+	for _, ch := range dd.Channels {
+		l := df.Net.Links[ch[0]]
+		if df.Net.Router(l.Src).Kind != netsim.KindSwitch || df.Net.Router(l.Dst).Kind != netsim.KindSwitch {
+			t.Fatalf("channel %v is not inter-switch", ch)
+		}
+	}
+
+	// Single switch: nothing is redundant.
+	sw, err := BuildSingleSwitch(4, DefaultLinkClasses(1, 1), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Net.Close()
+	if dsw := sw.FaultDomain(); len(dsw.Channels) != 0 || len(dsw.Routers) != 0 {
+		t.Fatalf("single-switch domain not empty: %+v", dsw)
+	}
+
+	// Mesh: all channels, cores only when chips keep a spare.
+	g, err := BuildMeshCGroup(2, 2, DefaultLinkClasses(1, 1), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Net.Close()
+	dg := g.FaultDomain()
+	if len(dg.Channels) != 24 { // 4x4 mesh: 2*4*3 = 24 bidirectional channels
+		t.Fatalf("mesh domain has %d channels, want 24", len(dg.Channels))
+	}
+	if len(dg.Routers) != 16 {
+		t.Fatalf("mesh domain has %d routers, want 16", len(dg.Routers))
+	}
+}
+
+func TestFaultResolveFullFraction(t *testing.T) {
+	g, err := BuildMeshCGroup(2, 2, DefaultLinkClasses(1, 1), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Net.Close()
+	d := g.FaultDomain()
+	_, links := FaultSpec{LinkFraction: 1}.Resolve(d)
+	if len(links) != 2*len(d.Channels) {
+		t.Fatalf("full fraction sampled %d links, want %d", len(links), 2*len(d.Channels))
+	}
+}

@@ -279,6 +279,33 @@ func ByName(name string, n int32) (Pattern, error) {
 	}
 }
 
+// filterDead drops packets aimed at dead chips.
+type filterDead struct {
+	Pattern
+	alive []bool
+}
+
+// Dest implements Pattern: the wrapped pattern draws as usual (so RNG
+// streams stay aligned with the pristine network), then destinations
+// without a surviving terminal are silenced.
+func (f filterDead) Dest(src int32, rng *engine.RNG) int32 {
+	d := f.Pattern.Dest(src, rng)
+	if d >= 0 && (int(d) >= len(f.alive) || !f.alive[d]) {
+		return -1
+	}
+	return d
+}
+
+// FilterDead wraps p so packets to chips marked dead (alive[c] == false)
+// are dropped at the source, the open-loop analogue of a host refusing to
+// address a failed die. A nil alive slice returns p unchanged.
+func FilterDead(p Pattern, alive []bool) Pattern {
+	if alive == nil {
+		return p
+	}
+	return filterDead{Pattern: p, alive: alive}
+}
+
 // Rate is an open-loop Bernoulli injection process: every injection node of
 // every chip flips a coin each cycle so that the chip's expected offered
 // load is FlitsPerChip flits/cycle, split evenly across its NodesPerChip
