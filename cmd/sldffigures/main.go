@@ -1,12 +1,16 @@
 // Command sldffigures regenerates the data behind every evaluation figure
-// of the paper (Figs. 10–15). Each figure's series are written as CSV files
-// into -out and summarized on stdout (saturation points, peak throughputs,
-// energy bars).
+// of the paper (Figs. 10–15). Experiments come from the core registry —
+// each figure is a declarative spec (configs × patterns × rate grid)
+// executed by the generic runner — so this command enumerates the registry
+// instead of dispatching to hand-written runners. Each figure's series are
+// written as CSV files into -out and summarized on stdout (saturation
+// points, peak throughputs, energy bars).
 //
 //	sldffigures -quick              # CI-scale everything (minutes)
 //	sldffigures -fig 11             # only Fig. 11 at paper scale
 //	sldffigures -full -fig 12       # the 18560-chip scalability run
 //	sldffigures -jobs 8 -cache .pts # 8 concurrent points, resumable
+//	sldffigures -remote host1:8437,host2:8437  # shard across sldfd workers
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"time"
 
 	"sldf/internal/campaign"
+	"sldf/internal/campaign/remote"
 	"sldf/internal/core"
 	"sldf/internal/metrics"
 )
@@ -38,18 +43,6 @@ func main() {
 // (usage text included) on the error writer.
 var errUsage = errors.New("usage error")
 
-// figRunners maps figure IDs to their sweep-based experiment runners
-// (Fig. 15, the energy bars, has a different result shape and is handled
-// separately).
-var figRunners = map[string]func(core.Scale, core.RunOptions) ([]metrics.Figure, error){
-	"10":         core.Fig10,
-	"11":         core.Fig11,
-	"12":         core.Fig12,
-	"13":         core.Fig13,
-	"14":         core.Fig14,
-	"resilience": core.FigResilience,
-}
-
 // run executes the command with the given arguments, writing summaries to
 // w and diagnostics to errw. Split from main so tests can drive flag
 // parsing and formatting.
@@ -58,20 +51,20 @@ func run(args []string, w, errw io.Writer) error {
 	fs.SetOutput(errw)
 	quick := fs.Bool("quick", false, "CI-scale runs (small windows, thinner grids, radix-24 stand-in for Fig. 12)")
 	full := fs.Bool("full", false, "force paper-scale runs (Table IV windows)")
-	fig := fs.String("fig", "all", "which figure: 10 | 11 | 12 | 13 | 14 | 15 | resilience | all")
+	fig := fs.String("fig", "all", "which experiment: "+strings.Join(core.ExperimentNames(), " | ")+" | all")
 	out := fs.String("out", "figures", "output directory for CSV files")
 	jobs := fs.Int("jobs", 1, "sweep points measured concurrently (results identical for any value)")
 	cacheDir := fs.String("cache", "", "directory for the on-disk point cache (empty = off); re-runs skip already-measured points")
+	remoteAddrs := fs.String("remote", "", "comma-separated sldfd worker addresses; shards sweep points across them (results identical to local)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h printed usage; that is success, not failure
 		}
 		return errUsage // the flag package already printed error + usage
 	}
-	switch *fig {
-	case "10", "11", "12", "13", "14", "15", "resilience", "all":
-	default:
-		return fmt.Errorf("unknown -fig %q (want 10–15, resilience, or all)", *fig)
+	if _, ok := core.LookupExperiment(*fig); !ok && *fig != "all" {
+		return fmt.Errorf("unknown -fig %q (want %s, or all)",
+			*fig, strings.Join(core.ExperimentNames(), ", "))
 	}
 
 	scale := core.ScaleQuick
@@ -85,26 +78,38 @@ func run(args []string, w, errw io.Writer) error {
 		return err
 	}
 	opts := core.RunOptions{Jobs: *jobs}
+	var diskCache *campaign.Cache
 	if *cacheDir != "" {
 		c, err := campaign.OpenCache(*cacheDir)
 		if err != nil {
 			return err
 		}
-		opts.Cache = c
+		diskCache = c
+		opts.Store = campaign.NewTiered[metrics.Point](
+			campaign.NewMemoryLRU[metrics.Point](1024), c)
+	}
+	if *remoteAddrs != "" {
+		backend, err := remote.New(strings.Split(*remoteAddrs, ","), remote.Options{})
+		if err != nil {
+			return err
+		}
+		if err := backend.Check(); err != nil {
+			return err
+		}
+		opts.Backend = backend
+		fmt.Fprintf(errw, "backend: %s\n", backend.Name())
 	}
 
-	want := func(id string) bool { return *fig == "all" || *fig == id }
-
-	for _, id := range []string{"10", "11", "12", "13", "14", "resilience"} {
-		if !want(id) {
+	for _, spec := range core.Experiments() {
+		if *fig != "all" && *fig != spec.Name {
 			continue
 		}
 		start := time.Now()
-		figs, err := figRunners[id](scale, opts)
+		res, err := core.RunExperiment(spec, scale, opts)
 		if err != nil {
-			return fmt.Errorf("fig %s: %w", id, err)
+			return fmt.Errorf("fig %s: %w", spec.Name, err)
 		}
-		for _, f := range figs {
+		for _, f := range res.Figures {
 			path := filepath.Join(*out, f.Name+".csv")
 			if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
 				return fmt.Errorf("write %s: %w", path, err)
@@ -115,34 +120,27 @@ func run(args []string, w, errw io.Writer) error {
 					s.Label, s.Saturation(3), s.MaxThroughput())
 			}
 		}
-		fmt.Fprintf(w, "-- fig %s done in %s\n\n", id, time.Since(start).Round(time.Second))
-	}
-
-	if want("15") {
-		start := time.Now()
-		efigs, err := core.Fig15(scale, opts)
-		if err != nil {
-			return fmt.Errorf("fig 15: %w", err)
-		}
-		for _, f := range efigs {
-			var b strings.Builder
-			b.WriteString("system,intra_pj_per_bit,inter_pj_per_bit,total_pj_per_bit\n")
+		for _, f := range res.Energy {
 			fmt.Fprintf(w, "== %s — %s\n", f.Name, f.Title)
 			for _, bar := range f.Bars {
-				fmt.Fprintf(&b, "%s,%.3f,%.3f,%.3f\n", bar.Label, bar.Intra, bar.Inter, bar.Total())
 				fmt.Fprintf(w, "   %-16s %6.1f pJ/bit (intra %5.1f + inter %5.1f)\n",
 					bar.Label, bar.Total(), bar.Intra, bar.Inter)
 			}
 			path := filepath.Join(*out, f.Name+".csv")
-			if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
 				return fmt.Errorf("write %s: %w", path, err)
 			}
 		}
-		fmt.Fprintf(w, "-- fig 15 done in %s\n", time.Since(start).Round(time.Second))
+		fmt.Fprintf(w, "-- fig %s done in %s\n", spec.Name, time.Since(start).Round(time.Second))
+		// Latency experiments historically end with a blank separator line;
+		// the energy panel (Fig. 15) closes the report without one.
+		if len(res.Figures) > 0 {
+			fmt.Fprintln(w)
+		}
 	}
 
-	if opts.Cache != nil {
-		fmt.Fprintln(errw, opts.Cache.StatsLine())
+	if diskCache != nil {
+		fmt.Fprintln(errw, diskCache.StatsLine())
 	}
 	return nil
 }

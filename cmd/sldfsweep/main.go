@@ -11,6 +11,14 @@
 //
 //	sldfsweep -systems sw-less,sw-less-mis -faults 0.05 -faultrouters 0.02 \
 //	          -faultseed 7 -from 0.1 -to 0.6 -step 0.1 > degraded.csv
+//
+// Example — the same sweep sharded across two sldfd worker daemons (the
+// CSV is bitwise identical to the local run, even if a worker dies
+// mid-sweep):
+//
+//	sldfd -listen :8437 &    # on each worker host
+//	sldfsweep -remote host1:8437,host2:8437 -systems sw-based,sw-less \
+//	          -from 0.1 -to 1.0 -step 0.1 > fig11a.csv
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"strings"
 
 	"sldf/internal/campaign"
+	"sldf/internal/campaign/remote"
 	"sldf/internal/core"
 	"sldf/internal/metrics"
 	"sldf/internal/routing"
@@ -41,6 +50,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel workers per simulation")
 		jobs     = flag.Int("jobs", 1, "sweep points measured concurrently (results identical for any value)")
 		cacheDir = flag.String("cache", "", "directory for the on-disk point cache (empty = off)")
+		remotes  = flag.String("remote", "", "comma-separated sldfd worker addresses; shards points across them (results identical to local)")
 
 		faults       = flag.Float64("faults", 0, "fraction of channels to fail at build time (0 = pristine network)")
 		faultRouters = flag.Float64("faultrouters", 0, "fraction of redundant routers (port modules, spare cores) to fail")
@@ -53,12 +63,26 @@ func main() {
 		ExtraDrain: *measure / 2, PacketSize: 4}
 
 	opts := core.RunOptions{Jobs: *jobs}
+	var diskCache *campaign.Cache
 	if *cacheDir != "" {
 		c, err := campaign.OpenCache(*cacheDir)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		opts.Cache = c
+		diskCache = c
+		opts.Store = campaign.NewTiered[metrics.Point](
+			campaign.NewMemoryLRU[metrics.Point](1024), c)
+	}
+	if *remotes != "" {
+		backend, err := remote.New(strings.Split(*remotes, ","), remote.Options{})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := backend.Check(); err != nil {
+			fatalf("%v", err)
+		}
+		opts.Backend = backend
+		fmt.Fprintf(os.Stderr, "backend: %s\n", backend.Name())
 	}
 
 	fig := metrics.Figure{Name: "sweep", Title: *pattern}
@@ -83,8 +107,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "saturation(%s) ≈ %.2f flits/cycle/chip\n",
 			s.Label, s.Saturation(3))
 	}
-	if opts.Cache != nil {
-		fmt.Fprintln(os.Stderr, opts.Cache.StatsLine())
+	if diskCache != nil {
+		fmt.Fprintln(os.Stderr, diskCache.StatsLine())
 	}
 }
 

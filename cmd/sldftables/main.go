@@ -3,10 +3,11 @@
 // comparison), Table IV (simulation defaults), and the C-group floorplan
 // feasibility report.
 //
-//	sldftables            # everything
-//	sldftables -table 3   # only Table III
-//	sldftables -fig 9     # only the layout report
-//	sldftables -sat       # simulated saturation-rate summary (quick scale)
+//	sldftables                # everything
+//	sldftables -table 3       # only Table III
+//	sldftables -fig 9         # only the layout report
+//	sldftables -sat           # simulated saturation-rate summary (quick scale)
+//	sldftables -experiments   # the experiment registry with figure mappings
 package main
 
 import (
@@ -15,12 +16,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"sldf/internal/analysis"
 	"sldf/internal/campaign"
 	"sldf/internal/core"
 	"sldf/internal/cost"
 	"sldf/internal/layout"
+	"sldf/internal/metrics"
 )
 
 func main() {
@@ -46,6 +49,7 @@ func run(args []string, w, errw io.Writer) error {
 	table := fs.String("table", "all", "which table: 1 | 2 | 3 | 4 | all")
 	figN := fs.Int("fig", 0, "also print a figure study (9 = layout)")
 	sat := fs.Bool("sat", false, "also print a simulated saturation-rate summary (single W-group, quick windows)")
+	experiments := fs.Bool("experiments", false, "also print the experiment registry (every registered spec with its figure mapping)")
 	jobs := fs.Int("jobs", 0, "sweep points measured concurrently for -sat (0 = all points at once)")
 	cacheDir := fs.String("cache", "", "directory for the -sat on-disk point cache (empty = off)")
 	if err := fs.Parse(args); err != nil {
@@ -133,12 +137,62 @@ func run(args []string, w, errw io.Writer) error {
 		fmt.Fprintf(w, "%-32s %v\n", "feasible", r.Feasible())
 	}
 
+	if *experiments {
+		experimentRegistry(w)
+	}
+
 	if *sat {
 		if err := saturationSummary(w, errw, *jobs, *cacheDir); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// experimentRegistry enumerates the core experiment registry: every
+// registered spec with the figures it expands to and their series. The
+// command prints data the registry declares — there is no per-figure code
+// here to drift out of sync.
+func experimentRegistry(w io.Writer) {
+	fmt.Fprintln(w, "EXPERIMENT REGISTRY — declarative specs behind sldffigures")
+	for _, spec := range core.Experiments() {
+		fmt.Fprintf(w, "%-12s %s\n", spec.Name, spec.Title)
+		plan := spec.Plan(core.ScaleQuick)
+		for _, f := range plan.Figures {
+			labels := make([]string, len(f.Series))
+			for i, s := range f.Series {
+				labels[i] = seriesLabel(s)
+			}
+			fmt.Fprintf(w, "  %-10s %-34s %d series: %s\n",
+				f.Name, f.Title, len(f.Series), strings.Join(labels, ", "))
+		}
+		for _, f := range plan.Energy {
+			labels := make([]string, len(f.Bars))
+			for i, b := range f.Bars {
+				labels[i] = b.Label
+			}
+			fmt.Fprintf(w, "  %-10s %-34s %d bars: %s\n",
+				f.Name, f.Title, len(f.Bars), strings.Join(labels, ", "))
+		}
+		for _, f := range plan.Resilience {
+			labels := make([]string, len(f.Series))
+			for i, s := range f.Series {
+				labels[i] = s.Label
+			}
+			fmt.Fprintf(w, "  %-10s %-34s %d series over %d fractions: %s\n",
+				f.Name, f.Title, len(f.Series), len(f.Opts.Fractions), strings.Join(labels, ", "))
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// seriesLabel resolves a series spec's display label the way the runner
+// does.
+func seriesLabel(s core.SeriesSpec) string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return s.Cfg.Label()
 }
 
 // saturationSummary measures saturation rates of the radix-16 systems
@@ -149,12 +203,15 @@ func saturationSummary(w, errw io.Writer, jobs int, cacheDir string) error {
 	if jobs <= 0 {
 		opts.Jobs = 16
 	}
+	var diskCache *campaign.Cache
 	if cacheDir != "" {
 		c, err := campaign.OpenCache(cacheDir)
 		if err != nil {
 			return err
 		}
-		opts.Cache = c
+		diskCache = c
+		opts.Store = campaign.NewTiered[metrics.Point](
+			campaign.NewMemoryLRU[metrics.Point](1024), c)
 	}
 	swb := core.Config{Kind: core.SwitchDragonfly, DF: core.Radix16DF(), Seed: 1, Workers: 1}
 	swb.DF.G = 1
@@ -182,8 +239,8 @@ func saturationSummary(w, errw io.Writer, jobs int, cacheDir string) error {
 		}
 		fmt.Fprintln(w)
 	}
-	if opts.Cache != nil {
-		fmt.Fprintln(errw, opts.Cache.StatsLine())
+	if diskCache != nil {
+		fmt.Fprintln(errw, diskCache.StatsLine())
 	}
 	return nil
 }

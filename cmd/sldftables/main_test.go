@@ -122,3 +122,20 @@ func TestRunSaturationSummary(t *testing.T) {
 		}
 	}
 }
+
+func TestRunExperimentRegistry(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-table", "1", "-experiments"}, &buf, io.Discard); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"EXPERIMENT REGISTRY",
+		"fig10a", "fig11b", "fig12a", "fig13b", "fig14b", "fig15a", "figres",
+		"sw-less-2B", "sw-less-bi-2B", "sw-less-mis",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("registry listing missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -19,18 +19,19 @@ import (
 
 func main() {
 	var (
-		system  = flag.String("system", "sw-less", "system: sw-less | sw-based | switch | mesh")
-		size    = flag.String("size", "radix16", "scale: radix16 | radix24 | radix32")
-		pattern = flag.String("pattern", "uniform", "traffic: uniform | bit-reverse | bit-shuffle | bit-transpose | hotspot | worst-case | ring | ring-bidir")
-		rate    = flag.Float64("rate", 0.5, "offered load in flits/cycle/chip")
-		mode    = flag.String("mode", "minimal", "routing mode: minimal | valiant | valiant-lower | adaptive")
-		scheme  = flag.String("scheme", "baseline", "SLDF VC scheme: baseline | reduced")
-		width   = flag.Int("width", 1, "intra-C-group bandwidth multiplier (1, 2, 4)")
-		groups  = flag.Int("groups", 0, "override W-group count (1 = single group)")
-		warmup  = flag.Int64("warmup", 5000, "warmup cycles")
-		measure = flag.Int64("measure", 10000, "measured cycles")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		system   = flag.String("system", "sw-less", "system: sw-less | sw-based | switch | mesh")
+		size     = flag.String("size", "radix16", "scale: radix16 | radix24 | radix32")
+		pattern  = flag.String("pattern", "uniform", "traffic: uniform | bit-reverse | bit-shuffle | bit-transpose | hotspot | worst-case | ring | ring-bidir")
+		rate     = flag.Float64("rate", 0.5, "offered load in flits/cycle/chip")
+		mode     = flag.String("mode", "minimal", "routing mode: minimal | valiant | valiant-lower | adaptive")
+		scheme   = flag.String("scheme", "baseline", "SLDF VC scheme: baseline | reduced")
+		width    = flag.Int("width", 1, "intra-C-group bandwidth multiplier (1, 2, 4)")
+		groups   = flag.Int("groups", 0, "override W-group count (1 = single group)")
+		warmup   = flag.Int64("warmup", 5000, "warmup cycles")
+		measure  = flag.Int64("measure", 10000, "measured cycles")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		printKey = flag.Bool("printkey", false, "also print the point's content-addressed campaign job key (correlates with -cache stores and sldfd workers)")
 	)
 	flag.Parse()
 
@@ -110,6 +111,15 @@ func main() {
 	}
 	sp := core.SimParams{Warmup: *warmup, Measure: *measure,
 		ExtraDrain: *measure / 2, PacketSize: 4}
+	if *printKey {
+		// The same (config, pattern, rate, window) measured by a sweep —
+		// locally or on a worker daemon — stores its point under this key.
+		spec, err := core.PointJob(cfg, *pattern, *rate, sp)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("job key  : %s\n", spec.Key)
+	}
 	res, err := sys.MeasureLoad(pat, *rate, sp)
 	if err != nil {
 		fatalf("simulate: %v", err)

@@ -1,0 +1,117 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sldf/internal/metrics"
+)
+
+// JobSpec is a declarative, serializable measurement job: data, not code.
+// A spec names a registered executor kind and carries its JSON payload, so
+// the identical job can run in-process, be shipped to a worker daemon, or
+// be satisfied straight from a store by its content-addressed key.
+type JobSpec struct {
+	// Key is the job's content address: it must cover every input that
+	// affects the result, and doubles as the store key. An empty key
+	// disables caching for the job.
+	Key string `json:"key"`
+	// Kind names the registered executor that interprets Payload.
+	Kind string `json:"kind"`
+	// Payload is the executor-specific job description.
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Executor interprets one kind of JobSpec payload. The worker carries
+// reusable per-goroutine state exactly as for closure jobs.
+type Executor func(w *Worker, payload json.RawMessage) (metrics.Point, error)
+
+var (
+	executorsMu sync.RWMutex
+	executors   = map[string]Executor{}
+)
+
+// RegisterExecutor installs the executor for a spec kind. Kinds should be
+// versioned (e.g. "core/point@v1") so payload-schema changes register a new
+// kind instead of silently reinterpreting old specs. Registering a kind
+// twice panics: two executors for one kind could produce divergent results
+// for the same content address.
+func RegisterExecutor(kind string, fn Executor) {
+	executorsMu.Lock()
+	defer executorsMu.Unlock()
+	if _, dup := executors[kind]; dup {
+		panic(fmt.Sprintf("campaign: executor %q registered twice", kind))
+	}
+	executors[kind] = fn
+}
+
+// ExecutorKinds lists the registered spec kinds, sorted.
+func ExecutorKinds() []string {
+	executorsMu.RLock()
+	defer executorsMu.RUnlock()
+	kinds := make([]string, 0, len(executors))
+	for k := range executors {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// ExecuteSpec runs one spec on the worker via the executor registry.
+func ExecuteSpec(w *Worker, spec JobSpec) (metrics.Point, error) {
+	executorsMu.RLock()
+	fn, ok := executors[spec.Kind]
+	executorsMu.RUnlock()
+	if !ok {
+		return metrics.Point{}, fmt.Errorf("campaign: no executor registered for job kind %q", spec.Kind)
+	}
+	return fn(w, spec.Payload)
+}
+
+// ExecOptions configure a Backend execution.
+type ExecOptions struct {
+	// Jobs is the in-process concurrency for backends that execute here
+	// (LocalBackend; values <= 1 run serially). Remote backends dispatch
+	// one batch per live worker and run measurements at each daemon's own
+	// -jobs setting, so they ignore this field.
+	Jobs int
+	// Store, when non-nil, satisfies specs by key before execution and
+	// records fresh results after.
+	Store PointStore
+}
+
+// Backend executes declarative job specs somewhere — this process, or a
+// fleet of worker daemons — and returns their points indexed like the
+// input. Every backend must be result-transparent: for the same specs the
+// returned points are bitwise identical to a serial in-process run,
+// whatever the sharding, concurrency, or mid-run worker failures.
+type Backend interface {
+	// Name identifies the backend for logs and stats lines.
+	Name() string
+	// Execute runs the specs. On error the slice still has len(specs) with
+	// incomplete slots zero, and the reported error is the failing spec
+	// with the lowest index among those that ran.
+	Execute(specs []JobSpec, opts ExecOptions) ([]metrics.Point, error)
+}
+
+// LocalBackend executes specs on this process's worker goroutines — the
+// historical in-process pool behind every sweep, now one implementation of
+// the Backend seam.
+type LocalBackend struct{}
+
+// Name implements Backend.
+func (LocalBackend) Name() string { return "local" }
+
+// Execute implements Backend via the generic scheduler.
+func (LocalBackend) Execute(specs []JobSpec, opts ExecOptions) ([]metrics.Point, error) {
+	jobs := make([]Job[metrics.Point], len(specs))
+	for i, spec := range specs {
+		jobs[i] = Job[metrics.Point]{
+			Key: spec.Key,
+			Run: func(w *Worker) (metrics.Point, error) { return ExecuteSpec(w, spec) },
+		}
+	}
+	return Run(jobs, Options[metrics.Point]{Jobs: opts.Jobs, Store: opts.Store})
+}

@@ -13,12 +13,26 @@ import (
 	"sldf/internal/metrics"
 )
 
+// CacheSchemaVersion is the on-disk point-cache schema generation. It is
+// folded into the entry filename hash AND recorded inside every entry, so
+// entries written by an older schema are simply never found (different
+// filenames), and an entry that somehow lands on the right path without the
+// current version stamp is rejected on read. Bump it whenever the meaning
+// of a cache key or the stored record changes, so stale points from older
+// revisions can never be replayed silently.
+//
+// History: v1 (unversioned, PR 1) stored {key, point} under a bare key
+// hash; v2 versions both the path and the record.
+const CacheSchemaVersion = 2
+
 // Cache is an on-disk store of measured load points keyed by an opaque
 // string covering everything that determines the result (config hash,
 // pattern, rate, simulation parameters). One small JSON file per point
-// keeps the format inspectable and the writes atomic (temp + rename), and
-// the stored key is verified on read so a hash collision can never replay
-// the wrong point.
+// keeps the format inspectable; writes go to a temp file that is fsynced
+// and atomically renamed into place, so a crash mid-write can never leave a
+// truncated entry behind. The stored key is verified on read so a hash
+// collision can never replay the wrong point. Cache implements
+// Store[metrics.Point].
 type Cache struct {
 	dir      string
 	mu       sync.Mutex
@@ -29,8 +43,9 @@ type Cache struct {
 
 // cacheEntry is the on-disk record for one point.
 type cacheEntry struct {
-	Key   string        `json:"key"`
-	Point metrics.Point `json:"point"`
+	Version int           `json:"version"`
+	Key     string        `json:"key"`
+	Point   metrics.Point `json:"point"`
 }
 
 // OpenCache opens (creating if needed) a point cache rooted at dir.
@@ -45,7 +60,7 @@ func OpenCache(dir string) (*Cache, error) {
 func (c *Cache) Dir() string { return c.dir }
 
 func (c *Cache) path(key string) string {
-	sum := sha256.Sum256([]byte(key))
+	sum := sha256.Sum256([]byte(fmt.Sprintf("v%d|%s", CacheSchemaVersion, key)))
 	return filepath.Join(c.dir, hex.EncodeToString(sum[:12])+".json")
 }
 
@@ -59,7 +74,7 @@ func (c *Cache) Get(key string) (metrics.Point, bool) {
 		return metrics.Point{}, false
 	}
 	var e cacheEntry
-	if json.Unmarshal(data, &e) != nil || e.Key != key {
+	if json.Unmarshal(data, &e) != nil || e.Version != CacheSchemaVersion || e.Key != key {
 		c.misses.Add(1)
 		return metrics.Point{}, false
 	}
@@ -76,7 +91,7 @@ func (c *Cache) Put(key string, pt metrics.Point) (err error) {
 			c.putFails.Add(1)
 		}
 	}()
-	data, err := json.Marshal(cacheEntry{Key: key, Point: pt})
+	data, err := json.Marshal(cacheEntry{Version: CacheSchemaVersion, Key: key, Point: pt})
 	if err != nil {
 		return fmt.Errorf("campaign: encode cache entry: %w", err)
 	}
@@ -91,6 +106,14 @@ func (c *Cache) Put(key string, pt metrics.Point) (err error) {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("campaign: write cache entry: %w", err)
 	}
+	// The temp file's content must be durable before the rename makes it
+	// visible under the entry path: rename-before-data on a crash would
+	// resurface as a zero-length "entry".
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: sync cache entry: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("campaign: write cache entry: %w", err)
@@ -98,6 +121,15 @@ func (c *Cache) Put(key string, pt metrics.Point) (err error) {
 	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("campaign: write cache entry: %w", err)
+	}
+	// Sync the directory so the rename itself survives a crash. A failure
+	// here is counted but the entry is already readable by this process.
+	if d, err := os.Open(c.dir); err == nil {
+		syncErr := d.Sync()
+		d.Close()
+		if syncErr != nil {
+			return fmt.Errorf("campaign: sync cache dir: %w", syncErr)
+		}
 	}
 	return nil
 }

@@ -1,81 +1,124 @@
-// Package campaign schedules sweep measurement jobs across worker
-// goroutines. Each job is an independent measurement (one system, pattern
-// and injection rate) whose result slot is fixed up front, so the assembled
-// output is bitwise identical no matter how many workers run the jobs or in
-// what order they finish. Workers carry a small keyed store that jobs use to
-// reuse expensive state (a built network is reset between points instead of
-// rebuilt), and an optional on-disk cache lets a re-run skip points that
-// were already measured.
+// Package campaign is the execution layer of the sweep pipeline: it turns
+// declarative measurement jobs into results, through pluggable seams at
+// every stage.
+//
+//   - Run is the generic in-process scheduler: typed jobs fan out over
+//     worker goroutines, and the assembled output is bitwise identical no
+//     matter how many workers run the jobs or in what order they finish.
+//   - JobSpec + the executor registry make jobs data instead of code: a
+//     spec names a registered executor and carries a JSON payload, so the
+//     same job can run in this process, in a worker daemon on another
+//     machine, or be replayed from a store.
+//   - Backend abstracts where specs execute (LocalBackend here; the remote
+//     subpackage shards them across worker daemons).
+//   - Store abstracts where results persist (disk cache, memory LRU, or a
+//     tiered combination).
 package campaign
 
 import (
 	"sync"
-
-	"sldf/internal/metrics"
 )
 
-// Job is one schedulable measurement producing a single load point.
-type Job struct {
-	// Key identifies the point for the on-disk cache; an empty key disables
+// Job is one schedulable unit of work producing a typed result.
+type Job[T any] struct {
+	// Key identifies the job's result for the store; an empty key disables
 	// caching for this job. Two jobs with equal keys must produce equal
-	// points (the key must cover every input that affects the result).
+	// results (the key must cover every input that affects the result).
 	Key string
-	// Run performs the measurement. The worker is owned by a single
-	// goroutine for the worker's lifetime, so Run may freely mutate state
-	// cached on it.
-	Run func(w *Worker) (metrics.Point, error)
+	// Run performs the work. The worker is owned by a single goroutine for
+	// the worker's lifetime, so Run may freely mutate state cached on it.
+	Run func(w *Worker) (T, error)
 }
 
 // Worker is the per-goroutine context passed to jobs: a keyed store for
 // state that is expensive to construct and can be reused across the jobs
-// that happen to land on the same worker.
+// that happen to land on the same worker. A state limit (SetStateLimit)
+// bounds how many values a long-lived worker retains; Run's short-lived
+// workers default to unbounded.
 type Worker struct {
 	state map[string]any
+	order []string // access order, least recently used first
+	limit int
 }
+
+// SetStateLimit bounds the worker's retained values to n (0 = unbounded).
+// When a Store would exceed the bound, the least recently used value is
+// closed (if it implements Close()) and dropped. Long-lived workers — a
+// daemon's persistent pool serving many configurations over its lifetime —
+// must set a limit or grow without bound.
+func (w *Worker) SetStateLimit(n int) { w.limit = n }
 
 // Cached returns the value stored under key, if any.
 func (w *Worker) Cached(key string) (any, bool) {
 	v, ok := w.state[key]
+	if ok {
+		w.touch(key)
+	}
 	return v, ok
 }
 
 // Store saves a value under key. Values implementing Close() are closed
-// when the campaign run finishes.
+// when evicted or when the campaign run finishes.
 func (w *Worker) Store(key string, v any) {
 	if w.state == nil {
 		w.state = map[string]any{}
 	}
+	if _, exists := w.state[key]; !exists {
+		w.order = append(w.order, key)
+	}
 	w.state[key] = v
+	w.touch(key)
+	if w.limit > 0 && len(w.state) > w.limit {
+		evict := w.order[0]
+		w.order = w.order[1:]
+		if c, ok := w.state[evict].(interface{ Close() }); ok {
+			c.Close()
+		}
+		delete(w.state, evict)
+	}
 }
 
-// close releases every stored value that knows how to release itself.
-func (w *Worker) close() {
+// touch moves key to the most-recently-used end of the access order.
+func (w *Worker) touch(key string) {
+	for i, k := range w.order {
+		if k == key {
+			w.order = append(append(w.order[:i:i], w.order[i+1:]...), key)
+			return
+		}
+	}
+}
+
+// Close releases every stored value that knows how to release itself.
+// Long-lived owners (worker pools) call it when retiring a worker; Run
+// closes its workers itself.
+func (w *Worker) Close() {
 	for _, v := range w.state {
 		if c, ok := v.(interface{ Close() }); ok {
 			c.Close()
 		}
 	}
 	w.state = nil
+	w.order = nil
 }
 
-// Options configure a campaign run.
-type Options struct {
-	// Jobs is the number of concurrent measurement jobs; values <= 1 run
-	// serially on the calling goroutine.
+// Options configure a campaign run over results of type T.
+type Options[T any] struct {
+	// Jobs is the number of concurrent jobs; values <= 1 run serially on
+	// the calling goroutine.
 	Jobs int
-	// Cache, when non-nil, is consulted before and updated after every job
+	// Store, when non-nil, is consulted before and updated after every job
 	// with a non-empty Key.
-	Cache *Cache
+	Store Store[T]
 }
 
-// Run executes the jobs and returns their points indexed like the input.
+// Run executes the jobs and returns their results indexed like the input.
 // On error the returned slice still has len(jobs) but slots whose jobs did
 // not complete are zero; the error reported is the failing job with the
 // lowest index among those that ran.
-func Run(jobs []Job, opts Options) ([]metrics.Point, error) {
-	points := make([]metrics.Point, len(jobs))
+func Run[T any](jobs []Job[T], opts Options[T]) ([]T, error) {
+	results := make([]T, len(jobs))
 	if len(jobs) == 0 {
-		return points, nil
+		return results, nil
 	}
 
 	workers := opts.Jobs
@@ -84,13 +127,13 @@ func Run(jobs []Job, opts Options) ([]metrics.Point, error) {
 	}
 	if workers <= 1 {
 		w := &Worker{}
-		defer w.close()
+		defer w.Close()
 		for i := range jobs {
-			if err := runOne(&jobs[i], w, opts.Cache, &points[i]); err != nil {
-				return points, err
+			if err := runOne(&jobs[i], w, opts.Store, &results[i]); err != nil {
+				return results, err
 			}
 		}
-		return points, nil
+		return results, nil
 	}
 
 	var (
@@ -106,7 +149,7 @@ func Run(jobs []Job, opts Options) ([]metrics.Point, error) {
 		go func() {
 			defer wg.Done()
 			w := &Worker{}
-			defer w.close()
+			defer w.Close()
 			for i := range idx {
 				mu.Lock()
 				stop := failed
@@ -114,7 +157,7 @@ func Run(jobs []Job, opts Options) ([]metrics.Point, error) {
 				if stop {
 					continue
 				}
-				if err := runOne(&jobs[i], w, opts.Cache, &points[i]); err != nil {
+				if err := runOne(&jobs[i], w, opts.Store, &results[i]); err != nil {
 					mu.Lock()
 					if !failed || i < errIdx {
 						firstErr, errIdx, failed = err, i, true
@@ -129,26 +172,26 @@ func Run(jobs []Job, opts Options) ([]metrics.Point, error) {
 	}
 	close(idx)
 	wg.Wait()
-	return points, firstErr
+	return results, firstErr
 }
 
-// runOne executes a single job through the cache.
-func runOne(j *Job, w *Worker, cache *Cache, out *metrics.Point) error {
-	if j.Key != "" && cache != nil {
-		if pt, ok := cache.Get(j.Key); ok {
-			*out = pt
+// runOne executes a single job through the store.
+func runOne[T any](j *Job[T], w *Worker, store Store[T], out *T) error {
+	if j.Key != "" && store != nil {
+		if v, ok := store.Get(j.Key); ok {
+			*out = v
 			return nil
 		}
 	}
-	pt, err := j.Run(w)
+	v, err := j.Run(w)
 	if err != nil {
 		return err
 	}
-	*out = pt
-	if j.Key != "" && cache != nil {
-		// A failed cache write must not discard a successfully measured
-		// point; the cache counts the failure for end-of-run reporting.
-		_ = cache.Put(j.Key, pt)
+	*out = v
+	if j.Key != "" && store != nil {
+		// A failed store write must not discard a successfully computed
+		// result; stores count the failure for end-of-run reporting.
+		_ = store.Put(j.Key, v)
 	}
 	return nil
 }

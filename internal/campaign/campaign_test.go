@@ -12,10 +12,10 @@ import (
 
 // indexJobs builds n jobs whose points encode their own index, so result
 // placement can be checked regardless of scheduling order.
-func indexJobs(n int) []Job {
-	jobs := make([]Job, n)
+func indexJobs(n int) []Job[metrics.Point] {
+	jobs := make([]Job[metrics.Point], n)
 	for i := range jobs {
-		jobs[i] = Job{Run: func(w *Worker) (metrics.Point, error) {
+		jobs[i] = Job[metrics.Point]{Run: func(w *Worker) (metrics.Point, error) {
 			return metrics.Point{Rate: float64(i), Latency: float64(i * 10)}, nil
 		}}
 	}
@@ -23,12 +23,12 @@ func indexJobs(n int) []Job {
 }
 
 func TestRunOrdersResultsForAnyWorkerCount(t *testing.T) {
-	want, err := Run(indexJobs(23), Options{Jobs: 1})
+	want, err := Run(indexJobs(23), Options[metrics.Point]{Jobs: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, jobs := range []int{2, 4, 16, 100} {
-		got, err := Run(indexJobs(23), Options{Jobs: jobs})
+		got, err := Run(indexJobs(23), Options[metrics.Point]{Jobs: jobs})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -39,7 +39,7 @@ func TestRunOrdersResultsForAnyWorkerCount(t *testing.T) {
 }
 
 func TestRunEmpty(t *testing.T) {
-	pts, err := Run(nil, Options{Jobs: 4})
+	pts, err := Run(nil, Options[metrics.Point]{Jobs: 4})
 	if err != nil || len(pts) != 0 {
 		t.Fatalf("empty run: %v, %v", pts, err)
 	}
@@ -50,7 +50,7 @@ func TestRunPropagatesError(t *testing.T) {
 	jobs := indexJobs(8)
 	jobs[3].Run = func(w *Worker) (metrics.Point, error) { return metrics.Point{}, boom }
 	for _, n := range []int{1, 4} {
-		if _, err := Run(jobs, Options{Jobs: n}); !errors.Is(err, boom) {
+		if _, err := Run(jobs, Options[metrics.Point]{Jobs: n}); !errors.Is(err, boom) {
 			t.Fatalf("jobs=%d: error %v, want %v", n, err, boom)
 		}
 	}
@@ -64,9 +64,9 @@ func (c closeable) Close() { *c.closed = true }
 func TestWorkerStateReusedAndClosed(t *testing.T) {
 	var builds int
 	var closed bool
-	jobs := make([]Job, 10)
+	jobs := make([]Job[metrics.Point], 10)
 	for i := range jobs {
-		jobs[i] = Job{Run: func(w *Worker) (metrics.Point, error) {
+		jobs[i] = Job[metrics.Point]{Run: func(w *Worker) (metrics.Point, error) {
 			if _, ok := w.Cached("sys"); !ok {
 				builds++
 				w.Store("sys", closeable{closed: &closed})
@@ -74,7 +74,7 @@ func TestWorkerStateReusedAndClosed(t *testing.T) {
 			return metrics.Point{}, nil
 		}}
 	}
-	if _, err := Run(jobs, Options{Jobs: 1}); err != nil {
+	if _, err := Run(jobs, Options[metrics.Point]{Jobs: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if builds != 1 {
@@ -87,11 +87,11 @@ func TestWorkerStateReusedAndClosed(t *testing.T) {
 
 func TestWorkerStateClosedOnError(t *testing.T) {
 	var closed bool
-	jobs := []Job{{Run: func(w *Worker) (metrics.Point, error) {
+	jobs := []Job[metrics.Point]{{Run: func(w *Worker) (metrics.Point, error) {
 		w.Store("sys", closeable{closed: &closed})
 		return metrics.Point{}, errors.New("boom")
 	}}}
-	if _, err := Run(jobs, Options{Jobs: 1}); err == nil {
+	if _, err := Run(jobs, Options[metrics.Point]{Jobs: 1}); err == nil {
 		t.Fatal("error not propagated")
 	}
 	if !closed {
@@ -134,10 +134,10 @@ func TestRunUsesCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	var runs int
-	mkJobs := func() []Job {
-		jobs := make([]Job, 6)
+	mkJobs := func() []Job[metrics.Point] {
+		jobs := make([]Job[metrics.Point], 6)
 		for i := range jobs {
-			jobs[i] = Job{
+			jobs[i] = Job[metrics.Point]{
 				Key: fmt.Sprintf("point-%d", i),
 				Run: func(w *Worker) (metrics.Point, error) {
 					runs++
@@ -147,14 +147,14 @@ func TestRunUsesCache(t *testing.T) {
 		}
 		return jobs
 	}
-	cold, err := Run(mkJobs(), Options{Jobs: 1, Cache: cache})
+	cold, err := Run(mkJobs(), Options[metrics.Point]{Jobs: 1, Store: cache})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if runs != 6 {
 		t.Fatalf("cold run executed %d jobs, want 6", runs)
 	}
-	warm, err := Run(mkJobs(), Options{Jobs: 1, Cache: cache})
+	warm, err := Run(mkJobs(), Options[metrics.Point]{Jobs: 1, Store: cache})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,10 +177,10 @@ func TestRunSurvivesCacheWriteFailure(t *testing.T) {
 	if err := os.RemoveAll(dir); err != nil {
 		t.Fatal(err)
 	}
-	jobs := []Job{{Key: "k", Run: func(w *Worker) (metrics.Point, error) {
+	jobs := []Job[metrics.Point]{{Key: "k", Run: func(w *Worker) (metrics.Point, error) {
 		return metrics.Point{Rate: 0.5}, nil
 	}}}
-	pts, err := Run(jobs, Options{Jobs: 1, Cache: cache})
+	pts, err := Run(jobs, Options[metrics.Point]{Jobs: 1, Store: cache})
 	if err != nil {
 		t.Fatalf("cache write failure aborted the run: %v", err)
 	}
@@ -204,4 +204,48 @@ func TestCacheRejectsForeignEntry(t *testing.T) {
 	if _, ok := c.Get("other-key"); ok {
 		t.Fatal("foreign key hit")
 	}
+}
+
+func TestWorkerStateLimitEvictsLRU(t *testing.T) {
+	w := &Worker{}
+	w.SetStateLimit(2)
+	closed := map[string]*bool{}
+	store := func(key string) {
+		f := new(bool)
+		closed[key] = f
+		w.Store(key, closeable{closed: f})
+	}
+	store("a")
+	store("b")
+	// Touch "a" so "b" is the eviction victim.
+	if _, ok := w.Cached("a"); !ok {
+		t.Fatal("a missing")
+	}
+	store("c")
+	if _, ok := w.Cached("b"); ok {
+		t.Fatal("b survived past the state limit")
+	}
+	if !*closed["b"] {
+		t.Fatal("evicted value not closed (resource leak)")
+	}
+	if *closed["a"] || *closed["c"] {
+		t.Fatal("resident value closed prematurely")
+	}
+	w.Close()
+	if !*closed["a"] || !*closed["c"] {
+		t.Fatal("Close did not release remaining values")
+	}
+}
+
+func TestWorkerStateUnboundedByDefault(t *testing.T) {
+	w := &Worker{}
+	for i := 0; i < 100; i++ {
+		w.Store(fmt.Sprintf("k%d", i), i)
+	}
+	for i := 0; i < 100; i++ {
+		if _, ok := w.Cached(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("k%d evicted without a limit", i)
+		}
+	}
+	w.Close()
 }

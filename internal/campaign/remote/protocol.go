@@ -1,0 +1,60 @@
+// Package remote shards campaign job specs across worker daemons over an
+// HTTP/JSON protocol and merges their results deterministically.
+//
+// The protocol has three endpoints, all served by Server (the worker side,
+// embedded in cmd/sldfd):
+//
+//	POST /run     — execute a batch of campaign.JobSpec, return per-job
+//	                results in request order
+//	GET  /healthz — liveness (200 + JSON once the worker accepts jobs)
+//	GET  /stats   — counters: requests, jobs, errors, store hits
+//
+// Backend is the coordinator side: it splits a spec list into batches,
+// fans them out across workers, re-shards batches from workers that die
+// mid-run onto the survivors, and assembles results by spec index, so the
+// merged output is bitwise identical to a serial local run — including
+// under injected worker loss. Jobs are content-addressed (spec keys cover
+// every result-affecting input) and executors are deterministic, so a
+// batch that executes twice because its response was dropped merges to the
+// same bytes.
+package remote
+
+import (
+	"sldf/internal/campaign"
+	"sldf/internal/metrics"
+)
+
+// runRequest is the POST /run body: a batch of declarative job specs.
+type runRequest struct {
+	Jobs []campaign.JobSpec `json:"jobs"`
+}
+
+// jobResult is one spec's outcome, in request order. Err is the job's
+// application-level failure (deterministic — retrying elsewhere cannot
+// help), distinct from transport failures, which surface as HTTP errors
+// and trigger re-sharding.
+type jobResult struct {
+	Point metrics.Point `json:"point"`
+	Err   string        `json:"err,omitempty"`
+}
+
+// runResponse is the POST /run reply, parallel to the request's Jobs.
+type runResponse struct {
+	Results []jobResult `json:"results"`
+}
+
+// healthResponse is the GET /healthz reply.
+type healthResponse struct {
+	OK      bool     `json:"ok"`
+	Workers int      `json:"workers"`
+	Kinds   []string `json:"kinds"` // registered executor kinds
+}
+
+// statsResponse is the GET /stats reply.
+type statsResponse struct {
+	Requests   int64 `json:"requests"`
+	Jobs       int64 `json:"jobs"`
+	JobErrors  int64 `json:"job_errors"`
+	StoreHits  int64 `json:"store_hits"`
+	BadPayload int64 `json:"bad_payloads"`
+}

@@ -1,0 +1,190 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sldf/internal/metrics"
+)
+
+func TestMemoryLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	m := NewMemoryLRU[metrics.Point](2)
+	a, b, c := metrics.Point{Rate: 1}, metrics.Point{Rate: 2}, metrics.Point{Rate: 3}
+	m.Put("a", a)
+	m.Put("b", b)
+	// Touch "a" so "b" becomes the eviction victim.
+	if _, ok := m.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	m.Put("c", c)
+	if _, ok := m.Get("b"); ok {
+		t.Fatal("b not evicted (LRU order broken)")
+	}
+	if got, ok := m.Get("a"); !ok || got != a {
+		t.Fatalf("a lost: %+v ok=%v", got, ok)
+	}
+	if got, ok := m.Get("c"); !ok || got != c {
+		t.Fatalf("c lost: %+v ok=%v", got, ok)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("len %d, want 2", m.Len())
+	}
+}
+
+func TestMemoryLRUOverwriteKeepsSingleEntry(t *testing.T) {
+	m := NewMemoryLRU[metrics.Point](4)
+	m.Put("k", metrics.Point{Rate: 1})
+	m.Put("k", metrics.Point{Rate: 2})
+	if m.Len() != 1 {
+		t.Fatalf("len %d, want 1", m.Len())
+	}
+	if got, _ := m.Get("k"); got.Rate != 2 {
+		t.Fatalf("overwrite lost: %+v", got)
+	}
+}
+
+func TestMemoryLRUUnbounded(t *testing.T) {
+	m := NewMemoryLRU[metrics.Point](0)
+	for i := 0; i < 100; i++ {
+		m.Put(fmt.Sprint(i), metrics.Point{Rate: float64(i)})
+	}
+	if m.Len() != 100 {
+		t.Fatalf("unbounded store evicted: len %d", m.Len())
+	}
+}
+
+func TestTieredPromotesColdHits(t *testing.T) {
+	disk, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := NewMemoryLRU[metrics.Point](8)
+	tiered := NewTiered[metrics.Point](hot, disk)
+
+	pt := metrics.Point{Rate: 0.4, Latency: 33}
+	if err := tiered.Put("k", pt); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh tiers over the same directory: only the disk copy survives.
+	hot2 := NewMemoryLRU[metrics.Point](8)
+	disk2, err := OpenCache(disk.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered2 := NewTiered[metrics.Point](hot2, disk2)
+	if got, ok := tiered2.Get("k"); !ok || got != pt {
+		t.Fatalf("cold get: %+v ok=%v", got, ok)
+	}
+	if disk2.Hits() != 1 {
+		t.Fatalf("first get should hit disk, hits=%d", disk2.Hits())
+	}
+	// The hit was promoted: the second lookup must not touch the disk.
+	if got, ok := tiered2.Get("k"); !ok || got != pt {
+		t.Fatalf("hot get: %+v ok=%v", got, ok)
+	}
+	if disk2.Hits() != 1 {
+		t.Fatalf("hot replay hit the filesystem (disk hits=%d)", disk2.Hits())
+	}
+	if hot2.Hits() != 1 {
+		t.Fatalf("hot tier hits=%d, want 1", hot2.Hits())
+	}
+	if !strings.Contains(tiered2.StatsLine(), "memory:") || !strings.Contains(tiered2.StatsLine(), "cache:") {
+		t.Fatalf("stats line missing tiers: %q", tiered2.StatsLine())
+	}
+}
+
+func TestTieredNilTiers(t *testing.T) {
+	hotOnly := NewTiered[metrics.Point](NewMemoryLRU[metrics.Point](2), nil)
+	if err := hotOnly.Put("k", metrics.Point{Rate: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := hotOnly.Get("k"); !ok {
+		t.Fatal("hot-only tier lost the entry")
+	}
+	empty := NewTiered[metrics.Point](nil, nil)
+	if _, ok := empty.Get("k"); ok {
+		t.Fatal("empty tier hit")
+	}
+	if err := empty.Put("k", metrics.Point{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheVersioningRejectsOldSchema(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "some-point-key"
+
+	// A v1-era entry (no version stamp) lives under a different filename
+	// (the bare key hash); the versioned cache must never find it.
+	v1 := struct {
+		Key   string        `json:"key"`
+		Point metrics.Point `json:"point"`
+	}{Key: key, Point: metrics.Point{Rate: 9, Latency: 999}}
+	data, _ := json.Marshal(v1)
+	if err := os.WriteFile(filepath.Join(dir, "0123456789abcdef01234567.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("unversioned stale entry replayed")
+	}
+
+	// Even an entry forged onto the *current* path is rejected without the
+	// current version stamp.
+	if err := c.Put(key, metrics.Point{Rate: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var path string
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if e.Name() != "0123456789abcdef01234567.json" {
+			path = filepath.Join(dir, e.Name())
+		}
+	}
+	if path == "" {
+		t.Fatal("versioned entry not written")
+	}
+	forged, _ := json.Marshal(struct {
+		Version int           `json:"version"`
+		Key     string        `json:"key"`
+		Point   metrics.Point `json:"point"`
+	}{Version: CacheSchemaVersion - 1, Key: key, Point: metrics.Point{Rate: 8}})
+	if err := os.WriteFile(path, forged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("old-version entry on the current path replayed")
+	}
+}
+
+func TestCachePutLeavesNoTempFilesBehind(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := c.Put(fmt.Sprintf("k%d", i), metrics.Point{Rate: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+	if len(entries) != 4 {
+		t.Fatalf("%d entries, want 4", len(entries))
+	}
+}

@@ -1,13 +1,16 @@
 package core
 
 import (
-	"fmt"
-	"sync"
-
 	"sldf/internal/metrics"
 	"sldf/internal/routing"
-	"sldf/internal/traffic"
 )
+
+// This file declares the paper's evaluation as registry data: each figure
+// registers an ExperimentSpec whose plan enumerates configurations ×
+// patterns × rate grids (see registry.go for the spec types and the one
+// generic runner). The historical hand-written Fig10…Fig15 runner
+// functions are gone; their exact grids live on in these declarations, and
+// RunExperiment reproduces their output byte for byte.
 
 // Scale selects experiment fidelity: ScaleQuick shrinks cycle counts, rate
 // grids and (for Fig. 12) the large system so the whole campaign runs on a
@@ -40,40 +43,100 @@ func (s Scale) rates(lo, hi, step float64) []float64 {
 
 const seed = 0x5EEDF00D
 
-// Fig10 reproduces Fig. 10: (a,b) intra-C-group switch vs 2D-mesh under
+// Axis labels shared by every latency figure.
+const (
+	xLabelRate    = "Injection Rate (flits/cycle/chip)"
+	yLabelLatency = "Average Latency (cycles)"
+)
+
+// latencyFigure assembles a FigureSpec with the standard axes.
+func latencyFigure(name, title string, series ...SeriesSpec) FigureSpec {
+	return FigureSpec{Name: name, Title: title,
+		XLabel: xLabelRate, YLabel: yLabelLatency, Series: series}
+}
+
+// seriesOver builds one SeriesSpec per config over a shared pattern, grid
+// and window (labels derive from the configs).
+func seriesOver(cfgs []Config, pattern string, rates []float64, sp SimParams) []SeriesSpec {
+	out := make([]SeriesSpec, len(cfgs))
+	for i, cfg := range cfgs {
+		out[i] = SeriesSpec{Cfg: cfg, Pattern: pattern, Rates: rates, Sim: sp}
+	}
+	return out
+}
+
+func withMode(c Config, m routing.Mode) Config {
+	c.Mode = m
+	return c
+}
+
+// radix16Trio returns the standard small-system comparison set: switch-based
+// baseline, switch-less, switch-less with doubled intra-C-group bandwidth.
+// groups1 restricts the systems to a single W-group.
+func radix16Trio(groups1 bool) (swb, swl, swl2 Config) {
+	swb = Config{Kind: SwitchDragonfly, DF: Radix16DF(), Seed: seed}
+	swl = Config{Kind: SwitchlessDragonfly, SLDF: Radix16SLDF(), Seed: seed}
+	if groups1 {
+		swb.DF.G = 1
+		swl.SLDF.G = 1
+	}
+	swl2 = swl
+	swl2.IntraWidth = 2
+	return swb, swl, swl2
+}
+
+func init() {
+	RegisterExperiment(ExperimentSpec{Name: "10",
+		Title: "Fig. 10 — intra-C-group and intra-W-group performance",
+		Plan:  planFig10})
+	RegisterExperiment(ExperimentSpec{Name: "11",
+		Title: "Fig. 11 — global performance, radix-16 system (1312 chips)",
+		Plan:  planFig11})
+	RegisterExperiment(ExperimentSpec{Name: "12",
+		Title: "Fig. 12 — scalability: the large system (radix-32; radix-24 stand-in at quick scale)",
+		Plan:  planFig12})
+	RegisterExperiment(ExperimentSpec{Name: "13",
+		Title: "Fig. 13 — adversarial traffic, minimal vs non-minimal routing",
+		Plan:  planFig13})
+	RegisterExperiment(ExperimentSpec{Name: "14",
+		Title: "Fig. 14 — ring-AllReduce traffic, uni- and bidirectional",
+		Plan:  planFig14})
+	RegisterExperiment(ExperimentSpec{Name: "resilience",
+		Title: "Resilience — latency under increasing channel/router failures (no paper counterpart)",
+		Plan:  planResilience})
+	RegisterExperiment(ExperimentSpec{Name: "15",
+		Title: "Fig. 15 — average energy per transmission (Sec. V-C pricing)",
+		Plan:  planFig15})
+}
+
+// planFig10 reproduces Fig. 10: (a,b) intra-C-group switch vs 2D-mesh under
 // uniform and bit-reverse; (c-f) intra-W-group SW-based vs SW-less vs
 // SW-less-2B under uniform, bit-reverse, bit-shuffle and bit-transpose.
-func Fig10(scale Scale, opts RunOptions) ([]metrics.Figure, error) {
+func planFig10(scale Scale) ExperimentPlan {
 	sp := scale.Sim()
-	var figs []metrics.Figure
+	var plan ExperimentPlan
 
 	// (a, b): one C-group of 2×2 chiplets (4×4 NoC routers) vs one switch
 	// with 4 chips.
-	intra := []struct {
+	intraCfgs := []Config{
+		{Kind: SingleSwitch, Terminals: 4, Seed: seed},
+		{Kind: MeshCGroup, ChipletDim: 2, NoCDim: 2, Seed: seed},
+	}
+	for _, f := range []struct {
 		name, title, pattern string
 		lo, hi, step         float64
 	}{
 		{"fig10a", "Intra-C-group: Uniform", "uniform", 0.25, 3.5, 0.25},
 		{"fig10b", "Intra-C-group: Bit-reverse", "bit-reverse", 0.2, 2.4, 0.2},
-	}
-	for _, f := range intra {
-		fig := metrics.Figure{Name: f.name, Title: f.title,
-			XLabel: "Injection Rate (flits/cycle/chip)", YLabel: "Average Latency (cycles)"}
-		for _, cfg := range []Config{
-			{Kind: SingleSwitch, Terminals: 4, Seed: seed},
-			{Kind: MeshCGroup, ChipletDim: 2, NoCDim: 2, Seed: seed},
-		} {
-			s, err := SweepOpts(cfg, f.pattern, scale.rates(f.lo, f.hi, f.step), sp, opts)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", f.name, err)
-			}
-			fig.Series = append(fig.Series, s)
-		}
-		figs = append(figs, fig)
+	} {
+		plan.Figures = append(plan.Figures, latencyFigure(f.name, f.title,
+			seriesOver(intraCfgs, f.pattern, scale.rates(f.lo, f.hi, f.step), sp)...))
 	}
 
 	// (c-f): one W-group (8 C-groups / 32 chips) in isolation.
-	local := []struct {
+	swb, swl, swl2 := radix16Trio(true)
+	localCfgs := []Config{swb, swl, swl2}
+	for _, f := range []struct {
 		name, title, pattern string
 		lo, hi, step         float64
 	}{
@@ -81,70 +144,42 @@ func Fig10(scale Scale, opts RunOptions) ([]metrics.Figure, error) {
 		{"fig10d", "Local: Bit-reverse", "bit-reverse", 0.2, 1.6, 0.2},
 		{"fig10e", "Local: Bit-shuffle", "bit-shuffle", 0.05, 0.5, 0.05},
 		{"fig10f", "Local: Bit-transpose", "bit-transpose", 0.2, 1.8, 0.2},
+	} {
+		plan.Figures = append(plan.Figures, latencyFigure(f.name, f.title,
+			seriesOver(localCfgs, f.pattern, scale.rates(f.lo, f.hi, f.step), sp)...))
 	}
-	swb := Config{Kind: SwitchDragonfly, DF: Radix16DF(), Seed: seed}
-	swb.DF.G = 1
-	swl := Config{Kind: SwitchlessDragonfly, SLDF: Radix16SLDF(), Seed: seed}
-	swl.SLDF.G = 1
-	swl2 := swl
-	swl2.IntraWidth = 2
-	for _, f := range local {
-		fig := metrics.Figure{Name: f.name, Title: f.title,
-			XLabel: "Injection Rate (flits/cycle/chip)", YLabel: "Average Latency (cycles)"}
-		for _, cfg := range []Config{swb, swl, swl2} {
-			s, err := SweepOpts(cfg, f.pattern, scale.rates(f.lo, f.hi, f.step), sp, opts)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", f.name, err)
-			}
-			fig.Series = append(fig.Series, s)
-		}
-		figs = append(figs, fig)
-	}
-	return figs, nil
+	return plan
 }
 
-// Fig11 reproduces Fig. 11: global performance of the full radix-16 system
-// (41 W-groups, 1312 chips) under uniform and bit-reverse traffic.
-func Fig11(scale Scale, opts RunOptions) ([]metrics.Figure, error) {
+// planFig11 reproduces Fig. 11: global performance of the full radix-16
+// system (41 W-groups, 1312 chips) under uniform and bit-reverse traffic.
+func planFig11(scale Scale) ExperimentPlan {
 	sp := scale.Sim()
-	swb := Config{Kind: SwitchDragonfly, DF: Radix16DF(), Seed: seed}
-	swl := Config{Kind: SwitchlessDragonfly, SLDF: Radix16SLDF(), Seed: seed}
-	swl2 := swl
-	swl2.IntraWidth = 2
-	var figs []metrics.Figure
-	cases := []struct {
+	swb, swl, swl2 := radix16Trio(false)
+	cfgs := []Config{swb, swl, swl2}
+	var plan ExperimentPlan
+	for _, f := range []struct {
 		name, title, pattern string
 		lo, hi, step         float64
 	}{
 		{"fig11a", "Global: Uniform", "uniform", 0.1, 1.0, 0.1},
 		{"fig11b", "Global: Bit-reverse", "bit-reverse", 0.1, 0.6, 0.1},
+	} {
+		plan.Figures = append(plan.Figures, latencyFigure(f.name, f.title,
+			seriesOver(cfgs, f.pattern, scale.rates(f.lo, f.hi, f.step), sp)...))
 	}
-	for _, f := range cases {
-		fig := metrics.Figure{Name: f.name, Title: f.title,
-			XLabel: "Injection Rate (flits/cycle/chip)", YLabel: "Average Latency (cycles)"}
-		for _, cfg := range []Config{swb, swl, swl2} {
-			s, err := SweepOpts(cfg, f.pattern, scale.rates(f.lo, f.hi, f.step), sp, opts)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", f.name, err)
-			}
-			fig.Series = append(fig.Series, s)
-		}
-		figs = append(figs, fig)
-	}
-	return figs, nil
+	return plan
 }
 
-// Fig12 reproduces Fig. 12 (scalability): the large system's local
+// planFig12 reproduces Fig. 12 (scalability): the large system's local
 // (intra-W-group traffic on the full network) and global performance.
 // ScalePaper uses the radix-32 system (18560 chips); ScaleQuick a radix-24
 // stand-in (6120 chips) with the same structure.
-func Fig12(scale Scale, opts RunOptions) ([]metrics.Figure, error) {
+func planFig12(scale Scale) ExperimentPlan {
 	sp := scale.Sim()
-	var dfP = Radix24DF()
-	var slP = Radix24SLDF()
+	dfP, slP := Radix24DF(), Radix24SLDF()
 	if scale == ScalePaper {
-		dfP = Radix32DF()
-		slP = Radix32SLDF()
+		dfP, slP = Radix32DF(), Radix32SLDF()
 	}
 	swb := Config{Kind: SwitchDragonfly, DF: dfP, Seed: seed}
 	swl := Config{Kind: SwitchlessDragonfly, SLDF: slP, Seed: seed}
@@ -153,9 +188,6 @@ func Fig12(scale Scale, opts RunOptions) ([]metrics.Figure, error) {
 	swl4 := swl
 	swl4.IntraWidth = 4
 
-	var figs []metrics.Figure
-
-	// (a) Local: traffic confined to W-group 0 of the full system.
 	// The large systems dominate the campaign's runtime; quick scale uses a
 	// deliberately coarse grid.
 	localRates := scale.rates(0.25, 1.5, 0.25)
@@ -165,38 +197,20 @@ func Fig12(scale Scale, opts RunOptions) ([]metrics.Figure, error) {
 		globalRates = []float64{0.2, 0.4, 0.6}
 	}
 
-	figA := metrics.Figure{Name: "fig12a", Title: "Scalability: Local Uniform",
-		XLabel: "Injection Rate (flits/cycle/chip)", YLabel: "Average Latency (cycles)"}
-	for _, cfg := range []Config{swb, swl, swl2} {
-		mk := func(sys *System) traffic.Pattern {
-			return traffic.Uniform{N: int32(sys.ChipsPerGroup)}
-		}
-		s, err := SweepScopedOpts(cfg, mk, "", "local-uniform-wgroup", localRates, sp, opts)
-		if err != nil {
-			return nil, fmt.Errorf("fig12a: %w", err)
-		}
-		figA.Series = append(figA.Series, s)
-	}
-	figs = append(figs, figA)
-
-	// (b) Global uniform across the whole system.
-	figB := metrics.Figure{Name: "fig12b", Title: "Scalability: Global Uniform",
-		XLabel: "Injection Rate (flits/cycle/chip)", YLabel: "Average Latency (cycles)"}
-	for _, cfg := range []Config{swb, swl, swl2, swl4} {
-		s, err := SweepOpts(cfg, "uniform", globalRates, sp, opts)
-		if err != nil {
-			return nil, fmt.Errorf("fig12b: %w", err)
-		}
-		figB.Series = append(figB.Series, s)
-	}
-	figs = append(figs, figB)
-	return figs, nil
+	return ExperimentPlan{Figures: []FigureSpec{
+		// (a) Local: traffic confined to W-group 0 of the full system.
+		latencyFigure("fig12a", "Scalability: Local Uniform",
+			seriesOver([]Config{swb, swl, swl2}, "local-uniform-wgroup", localRates, sp)...),
+		// (b) Global uniform across the whole system.
+		latencyFigure("fig12b", "Scalability: Global Uniform",
+			seriesOver([]Config{swb, swl, swl2, swl4}, "uniform", globalRates, sp)...),
+	}}
 }
 
-// Fig13 reproduces Fig. 13: adversarial traffic (hotspot over 4 W-groups
-// and the worst-case Wi→Wi+1 pattern) under minimal vs non-minimal routing
-// on the radix-16 system.
-func Fig13(scale Scale, opts RunOptions) ([]metrics.Figure, error) {
+// planFig13 reproduces Fig. 13: adversarial traffic (hotspot over 4
+// W-groups and the worst-case Wi→Wi+1 pattern) under minimal vs non-minimal
+// routing on the radix-16 system.
+func planFig13(scale Scale) ExperimentPlan {
 	sp := scale.Sim()
 	mk := func(mode routing.Mode, kind SystemKind, width int32) Config {
 		c := Config{Kind: kind, Seed: seed, Mode: mode, IntraWidth: width}
@@ -214,125 +228,66 @@ func Fig13(scale Scale, opts RunOptions) ([]metrics.Figure, error) {
 		mk(routing.Valiant, SwitchlessDragonfly, 0),
 		mk(routing.Valiant, SwitchlessDragonfly, 2),
 	}
-	var figs []metrics.Figure
-	cases := []struct {
+	var plan ExperimentPlan
+	for _, f := range []struct {
 		name, title, pattern string
 		lo, hi, step         float64
 	}{
 		{"fig13a", "Adversarial: Hotspot (4 W-groups)", "hotspot", 0.08, 0.8, 0.08},
 		{"fig13b", "Adversarial: Worst-Case", "worst-case", 0.048, 0.48, 0.048},
+	} {
+		plan.Figures = append(plan.Figures, latencyFigure(f.name, f.title,
+			seriesOver(cfgs, f.pattern, scale.rates(f.lo, f.hi, f.step), sp)...))
 	}
-	for _, f := range cases {
-		fig := metrics.Figure{Name: f.name, Title: f.title,
-			XLabel: "Injection Rate (flits/cycle/chip)", YLabel: "Average Latency (cycles)"}
-		for _, cfg := range cfgs {
-			s, err := SweepOpts(cfg, f.pattern, scale.rates(f.lo, f.hi, f.step), sp, opts)
-			if err != nil {
-				return nil, fmt.Errorf("%s(%s): %w", f.name, f.pattern, err)
-			}
-			fig.Series = append(fig.Series, s)
-		}
-		figs = append(figs, fig)
-	}
-	return figs, nil
+	return plan
 }
 
-// Fig14 reproduces Fig. 14: ring-AllReduce traffic within a C-group (a) and
-// within a W-group (b), with unidirectional and bidirectional rings.
-func Fig14(scale Scale, opts RunOptions) ([]metrics.Figure, error) {
+// planFig14 reproduces Fig. 14: ring-AllReduce traffic within a C-group (a)
+// and within a W-group (b), with unidirectional and bidirectional rings.
+func planFig14(scale Scale) ExperimentPlan {
 	sp := scale.Sim()
-	var figs []metrics.Figure
 
 	// (a) Intra-C-group: 4 chips on one switch vs the 4×4 C-group mesh.
-	figA := metrics.Figure{Name: "fig14a", Title: "AllReduce: Intra-C-group",
-		XLabel: "Injection Rate (flits/cycle/chip)", YLabel: "Average Latency (cycles)"}
 	swbA := Config{Kind: SingleSwitch, Terminals: 4, Seed: seed}
 	swlA := Config{Kind: MeshCGroup, ChipletDim: 2, NoCDim: 2, Seed: seed}
-	for _, c := range []struct {
-		cfg     Config
-		pattern string
-		label   string
-	}{
-		{swbA, "ring", "sw-based-uni"},
-		{swlA, "ring", "sw-less-uni"},
-		{swbA, "ring-bidir", "sw-based-bi"},
-		{swlA, "ring-bidir", "sw-less-bi"},
-	} {
-		s, err := SweepOpts(c.cfg, c.pattern, scale.rates(0.4, 4.0, 0.4), sp, opts)
-		if err != nil {
-			return nil, fmt.Errorf("fig14a: %w", err)
-		}
-		s.Label = c.label
-		figA.Series = append(figA.Series, s)
-	}
-	figs = append(figs, figA)
+	ratesA := scale.rates(0.4, 4.0, 0.4)
+	figA := latencyFigure("fig14a", "AllReduce: Intra-C-group",
+		SeriesSpec{Cfg: swbA, Pattern: "ring", Label: "sw-based-uni", Rates: ratesA, Sim: sp},
+		SeriesSpec{Cfg: swlA, Pattern: "ring", Label: "sw-less-uni", Rates: ratesA, Sim: sp},
+		SeriesSpec{Cfg: swbA, Pattern: "ring-bidir", Label: "sw-based-bi", Rates: ratesA, Sim: sp},
+		SeriesSpec{Cfg: swlA, Pattern: "ring-bidir", Label: "sw-less-bi", Rates: ratesA, Sim: sp},
+	)
 
 	// (b) Intra-W-group: single-W-group systems, ring over 32 chips.
-	figB := metrics.Figure{Name: "fig14b", Title: "AllReduce: Intra-W-group",
-		XLabel: "Injection Rate (flits/cycle/chip)", YLabel: "Average Latency (cycles)"}
-	swbB := Config{Kind: SwitchDragonfly, DF: Radix16DF(), Seed: seed}
-	swbB.DF.G = 1
-	swlB := Config{Kind: SwitchlessDragonfly, SLDF: Radix16SLDF(), Seed: seed}
-	swlB.SLDF.G = 1
-	swlB2 := swlB
-	swlB2.IntraWidth = 2
-	for _, c := range []struct {
-		cfg     Config
-		pattern string
-		label   string
-	}{
-		{swbB, "ring", "sw-based-uni"},
-		{swlB, "ring", "sw-less-uni"},
-		{swbB, "ring-bidir", "sw-based-bi"},
-		{swlB, "ring-bidir", "sw-less-bi"},
-		{swlB2, "ring-bidir", "sw-less-bi-2B"},
-	} {
-		s, err := SweepOpts(c.cfg, c.pattern, scale.rates(0.2, 2.0, 0.2), sp, opts)
-		if err != nil {
-			return nil, fmt.Errorf("fig14b: %w", err)
-		}
-		s.Label = c.label
-		figB.Series = append(figB.Series, s)
-	}
-	figs = append(figs, figB)
-	return figs, nil
+	swbB, swlB, swlB2 := radix16Trio(true)
+	ratesB := scale.rates(0.2, 2.0, 0.2)
+	figB := latencyFigure("fig14b", "AllReduce: Intra-W-group",
+		SeriesSpec{Cfg: swbB, Pattern: "ring", Label: "sw-based-uni", Rates: ratesB, Sim: sp},
+		SeriesSpec{Cfg: swlB, Pattern: "ring", Label: "sw-less-uni", Rates: ratesB, Sim: sp},
+		SeriesSpec{Cfg: swbB, Pattern: "ring-bidir", Label: "sw-based-bi", Rates: ratesB, Sim: sp},
+		SeriesSpec{Cfg: swlB, Pattern: "ring-bidir", Label: "sw-less-bi", Rates: ratesB, Sim: sp},
+		SeriesSpec{Cfg: swlB2, Pattern: "ring-bidir", Label: "sw-less-bi-2B", Rates: ratesB, Sim: sp},
+	)
+	return ExperimentPlan{Figures: []FigureSpec{figA, figB}}
 }
 
-// EnergyBar is one bar of Fig. 15: average transmission energy split into
-// intra- and inter-C-group components.
-type EnergyBar struct {
-	Label string
-	Intra float64 // pJ/bit inside C-groups (NoC + short-reach)
-	Inter float64 // pJ/bit on long-reach cables
-}
-
-// Total returns the bar height.
-func (b EnergyBar) Total() float64 { return b.Intra + b.Inter }
+// EnergyBar is one bar of Fig. 15; the container (and its CSV rendering)
+// lives with the other result types in internal/metrics.
+type EnergyBar = metrics.EnergyBar
 
 // EnergyFigure is one panel of Fig. 15.
-type EnergyFigure struct {
-	Name  string
-	Title string
-	Bars  []EnergyBar
-}
+type EnergyFigure = metrics.EnergyFigure
 
-// Fig15 reproduces Fig. 15: average energy per transmission for minimal and
-// non-minimal routing on the small (radix-16) and large system, measured
-// from delivered-packet hop traces under uniform traffic priced with the
-// paper's simplified intra-C-group model (Sec. V-C).
-func Fig15(scale Scale, opts RunOptions) ([]EnergyFigure, error) {
+// planFig15 reproduces Fig. 15: average energy per transmission for minimal
+// and non-minimal routing on the small (radix-16) and large system,
+// measured from delivered-packet hop traces under uniform traffic priced
+// with the paper's simplified intra-C-group model (Sec. V-C).
+func planFig15(scale Scale) ExperimentPlan {
 	sp := scale.Sim()
-	rate := 0.3
-
-	// Energy bars need the raw hop mix (Result.Stats), but campaign.Job
-	// produces metrics.Point results, so Fig. 15 fans its independent
-	// bars out over opts.Jobs goroutines directly. Each bar builds its
-	// own system, so results are identical for any job count. If another
-	// experiment ever needs a non-Point fan-out, generalize the campaign
-	// scheduler's result type instead of copying this block.
-	run := func(name, title string, df Config, sl Config) (EnergyFigure, error) {
-		fig := EnergyFigure{Name: name, Title: title}
-		cases := []struct {
+	const rate = 0.3
+	panel := func(name, title string, df, sl Config) EnergyFigureSpec {
+		spec := EnergyFigureSpec{Name: name, Title: title}
+		for _, c := range []struct {
 			cfg   Config
 			label string
 		}{
@@ -340,79 +295,28 @@ func Fig15(scale Scale, opts RunOptions) ([]EnergyFigure, error) {
 			{sl, "sw-less"},
 			{withMode(df, routing.Valiant), "sw-based-mis"},
 			{withMode(sl, routing.Valiant), "sw-less-mis"},
+		} {
+			spec.Bars = append(spec.Bars, EnergyBarSpec{
+				Cfg: c.cfg, Pattern: "uniform", Rate: rate, Label: c.label, Sim: sp})
 		}
-		bars := make([]EnergyBar, len(cases))
-		errs := make([]error, len(cases))
-		jobs := opts.Jobs
-		if jobs < 1 {
-			jobs = 1
-		}
-		sem := make(chan struct{}, jobs)
-		var wg sync.WaitGroup
-		for i, c := range cases {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				sys, err := Build(c.cfg)
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				defer sys.Close()
-				pat, err := sys.PatternFor("uniform")
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				res, err := sys.MeasureLoad(pat, rate, sp)
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				st := res.Stats
-				// Simplified pricing: every intra-C-group hop ≈ 1 pJ/bit.
-				intra := st.MeanHops(0)*1 + st.MeanHops(1)*1
-				inter := st.MeanHops(2)*20 + st.MeanHops(3)*20
-				bars[i] = EnergyBar{Label: c.label, Intra: intra, Inter: inter}
-			}()
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return fig, err
-			}
-		}
-		fig.Bars = bars
-		return fig, nil
+		return spec
 	}
 
-	small, err := run("fig15a", "Energy: Small-Scale (radix-16)",
-		Config{Kind: SwitchDragonfly, DF: Radix16DF(), Seed: seed},
-		Config{Kind: SwitchlessDragonfly, SLDF: Radix16SLDF(), Seed: seed})
-	if err != nil {
-		return nil, err
-	}
 	dfL, slL := Radix24DF(), Radix24SLDF()
 	if scale == ScalePaper {
 		dfL, slL = Radix32DF(), Radix32SLDF()
 	}
-	large, err := run("fig15b", "Energy: Large-Scale",
-		Config{Kind: SwitchDragonfly, DF: dfL, Seed: seed},
-		Config{Kind: SwitchlessDragonfly, SLDF: slL, Seed: seed})
-	if err != nil {
-		return nil, err
-	}
-	return []EnergyFigure{small, large}, nil
+	return ExperimentPlan{Energy: []EnergyFigureSpec{
+		panel("fig15a", "Energy: Small-Scale (radix-16)",
+			Config{Kind: SwitchDragonfly, DF: Radix16DF(), Seed: seed},
+			Config{Kind: SwitchlessDragonfly, SLDF: Radix16SLDF(), Seed: seed}),
+		panel("fig15b", "Energy: Large-Scale",
+			Config{Kind: SwitchDragonfly, DF: dfL, Seed: seed},
+			Config{Kind: SwitchlessDragonfly, SLDF: slL, Seed: seed}),
+	}}
 }
 
-func withMode(c Config, m routing.Mode) Config {
-	c.Mode = m
-	return c
-}
-
-// FigResilience is the degraded-topology experiment (no counterpart in the
+// planResilience is the degraded-topology experiment (no counterpart in the
 // paper, which simulates pristine networks): mean latency and accepted
 // throughput of the radix-16 systems under uniform traffic as an
 // increasing fraction of channels (and, scaled at 1:2, routers) fails.
@@ -425,43 +329,32 @@ func withMode(c Config, m routing.Mode) Config {
 // offset is the discipline change, not the faults. Each point averages the
 // fault seeds' clean draws; partitioned draws are dropped (quick scale
 // keeps fractions low enough that this is rare).
-func FigResilience(scale Scale, opts RunOptions) ([]metrics.Figure, error) {
+func planResilience(scale Scale) ExperimentPlan {
 	fractions := []float64{0, 0.02, 0.05, 0.1, 0.15}
 	seeds := []uint64{1, 2, 3}
 	if scale == ScaleQuick {
 		fractions = []float64{0, 0.05, 0.1}
 		seeds = []uint64{1, 2}
 	}
-	ropts := ResilienceOpts{
-		Fractions:   fractions,
-		RouterScale: 0.5,
-		Seeds:       seeds,
-		Pattern:     "uniform",
-		Rate:        0.2,
-		Sim:         scale.Sim(),
-		Run:         opts,
-	}
 	swb := Config{Kind: SwitchDragonfly, DF: Radix16DF(), Seed: seed}
 	swl := Config{Kind: SwitchlessDragonfly, SLDF: Radix16SLDF(), Seed: seed}
-	swlMis := withMode(swl, routing.Valiant)
-
-	fig := metrics.Figure{Name: "figres", Title: "Resilience: Uniform @ 0.2 flits/cycle/chip",
-		XLabel: "Channel Failure Fraction", YLabel: "Average Latency (cycles)"}
-	for _, c := range []struct {
-		cfg   Config
-		label string
-	}{
-		{swb, "sw-based"},
-		{swl, "sw-less"},
-		{swlMis, "sw-less-mis"},
-	} {
-		rs, err := ResilienceSweep(c.cfg, ropts)
-		if err != nil {
-			return nil, fmt.Errorf("figres (%s): %w", c.label, err)
-		}
-		s := rs.Series()
-		s.Label = c.label
-		fig.Series = append(fig.Series, s)
-	}
-	return []metrics.Figure{fig}, nil
+	return ExperimentPlan{Resilience: []ResilienceFigureSpec{{
+		Name:   "figres",
+		Title:  "Resilience: Uniform @ 0.2 flits/cycle/chip",
+		XLabel: "Channel Failure Fraction",
+		YLabel: yLabelLatency,
+		Opts: ResilienceOpts{
+			Fractions:   fractions,
+			RouterScale: 0.5,
+			Seeds:       seeds,
+			Pattern:     "uniform",
+			Rate:        0.2,
+			Sim:         scale.Sim(),
+		},
+		Series: []ResilienceSeriesSpec{
+			{Cfg: swb, Label: "sw-based"},
+			{Cfg: swl, Label: "sw-less"},
+			{Cfg: withMode(swl, routing.Valiant), Label: "sw-less-mis"},
+		},
+	}}}
 }

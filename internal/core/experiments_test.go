@@ -6,14 +6,15 @@ import (
 )
 
 // The full experiment campaign is exercised by cmd/sldffigures; these tests
-// run the cheap runners end-to-end at quick scale and assert the paper's
-// qualitative results on the produced series.
+// run the cheap registry experiments end-to-end at quick scale and assert
+// the paper's qualitative results on the produced series.
 
 func TestFig10Runner(t *testing.T) {
-	figs, err := Fig10(ScaleQuick, RunOptions{Jobs: 4})
+	res, err := RunExperimentByName("10", ScaleQuick, RunOptions{Jobs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
+	figs := res.Figures
 	if len(figs) != 6 {
 		t.Fatalf("Fig10 produced %d sub-figures, want 6", len(figs))
 	}
@@ -46,10 +47,11 @@ func TestFig10Runner(t *testing.T) {
 }
 
 func TestFig14Runner(t *testing.T) {
-	figs, err := Fig14(ScaleQuick, RunOptions{Jobs: 4})
+	res, err := RunExperimentByName("14", ScaleQuick, RunOptions{Jobs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
+	figs := res.Figures
 	if len(figs) != 2 {
 		t.Fatalf("Fig14 produced %d figures", len(figs))
 	}

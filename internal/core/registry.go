@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+
+	"sldf/internal/campaign"
+	"sldf/internal/metrics"
+)
+
+// This file is the experiment registry: every evaluation figure of the
+// paper is a data value — configurations × patterns × rate grid, plus a
+// reducer selecting what the measurements become (latency curves, energy
+// bars, resilience curves) — executed by one generic runner. Commands
+// enumerate the registry instead of switching over hand-written runner
+// functions, and a new experiment is a registration, not a code path.
+
+// SeriesSpec is one curve of a latency figure: a configuration swept over
+// a rate grid under a named traffic pattern.
+type SeriesSpec struct {
+	Cfg Config
+	// Pattern is a PatternFor name. Named patterns keep the spec pure data,
+	// which is what lets a remote backend execute it.
+	Pattern string
+	// Label overrides the config-derived series label when non-empty.
+	Label string
+	Rates []float64
+	// Sim is the measurement window for every point of the series.
+	Sim SimParams
+}
+
+// FigureSpec is one latency-vs-rate figure: a named set of series specs.
+type FigureSpec struct {
+	Name, Title    string
+	XLabel, YLabel string
+	Series         []SeriesSpec
+}
+
+// EnergyBarSpec is one bar of an energy figure: a single load point whose
+// delivered-packet hop mix is priced by the paper's Sec. V-C model.
+type EnergyBarSpec struct {
+	Cfg     Config
+	Pattern string
+	Rate    float64
+	Label   string
+	Sim     SimParams
+}
+
+// EnergyFigureSpec is one energy-bar panel.
+type EnergyFigureSpec struct {
+	Name, Title string
+	Bars        []EnergyBarSpec
+}
+
+// ResilienceSeriesSpec is one curve of a resilience figure; the shared
+// failure grid lives on the figure spec.
+type ResilienceSeriesSpec struct {
+	Cfg   Config
+	Label string
+}
+
+// ResilienceFigureSpec is one degraded-topology figure: systems measured
+// at a fixed traffic point across a failure-fraction grid.
+type ResilienceFigureSpec struct {
+	Name, Title    string
+	XLabel, YLabel string
+	// Opts carries the failure grid, seeds and traffic point shared by all
+	// series (Run is overridden by the runner's options).
+	Opts   ResilienceOpts
+	Series []ResilienceSeriesSpec
+}
+
+// ExperimentPlan is the scale-resolved grid of one experiment. Exactly the
+// spec kinds present are executed; an experiment usually has one kind.
+type ExperimentPlan struct {
+	Figures    []FigureSpec
+	Energy     []EnergyFigureSpec
+	Resilience []ResilienceFigureSpec
+}
+
+// ExperimentSpec is one registered experiment: a name, and the plan it
+// expands to at a given scale.
+type ExperimentSpec struct {
+	// Name is the registry key ("10" … "15", "resilience").
+	Name string
+	// Title is a one-line description for registry listings.
+	Title string
+	// Plan resolves the declarative grid for the scale (quick grids are
+	// thinned, the large system swaps radix).
+	Plan func(Scale) ExperimentPlan
+}
+
+var experimentRegistry []ExperimentSpec
+
+// RegisterExperiment adds a spec to the registry in enumeration order.
+// Duplicate names panic: two specs for one figure would race for its
+// output files.
+func RegisterExperiment(spec ExperimentSpec) {
+	if spec.Name == "" || spec.Plan == nil {
+		panic("core: experiment spec needs a name and a plan")
+	}
+	for _, e := range experimentRegistry {
+		if e.Name == spec.Name {
+			panic(fmt.Sprintf("core: experiment %q registered twice", spec.Name))
+		}
+	}
+	experimentRegistry = append(experimentRegistry, spec)
+}
+
+// Experiments returns the registered specs in registration order (the
+// paper's figure order).
+func Experiments() []ExperimentSpec {
+	out := make([]ExperimentSpec, len(experimentRegistry))
+	copy(out, experimentRegistry)
+	return out
+}
+
+// ExperimentNames returns the registered names in registration order.
+func ExperimentNames() []string {
+	names := make([]string, len(experimentRegistry))
+	for i, e := range experimentRegistry {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// LookupExperiment finds a registered spec by name.
+func LookupExperiment(name string) (ExperimentSpec, bool) {
+	for _, e := range experimentRegistry {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return ExperimentSpec{}, false
+}
+
+// ExperimentResult is the output of one experiment run: latency/resilience
+// figures and/or energy panels.
+type ExperimentResult struct {
+	Figures []metrics.Figure
+	Energy  []EnergyFigure
+}
+
+// RunExperiment executes a registered experiment at the given scale: the
+// one generic runner behind every figure. Latency series run through the
+// Backend seam (shardable across workers); energy bars fan out over the
+// generic campaign scheduler; resilience curves run the fault grid. The
+// produced figures are bitwise identical to the historical hand-written
+// runners.
+func RunExperiment(spec ExperimentSpec, scale Scale, opts RunOptions) (ExperimentResult, error) {
+	plan := spec.Plan(scale)
+	var res ExperimentResult
+	for _, fs := range plan.Figures {
+		fig, err := runFigureSpec(fs, opts)
+		if err != nil {
+			return res, err
+		}
+		res.Figures = append(res.Figures, fig)
+	}
+	for _, es := range plan.Energy {
+		fig, err := runEnergySpec(es, opts)
+		if err != nil {
+			return res, err
+		}
+		res.Energy = append(res.Energy, fig)
+	}
+	for _, rs := range plan.Resilience {
+		fig, err := runResilienceSpec(rs, opts)
+		if err != nil {
+			return res, err
+		}
+		res.Figures = append(res.Figures, fig)
+	}
+	return res, nil
+}
+
+// RunExperimentByName is RunExperiment after a registry lookup.
+func RunExperimentByName(name string, scale Scale, opts RunOptions) (ExperimentResult, error) {
+	spec, ok := LookupExperiment(name)
+	if !ok {
+		return ExperimentResult{}, fmt.Errorf("core: unknown experiment %q (registered: %v)",
+			name, ExperimentNames())
+	}
+	return RunExperiment(spec, scale, opts)
+}
+
+// runFigureSpec sweeps every series of a latency figure.
+func runFigureSpec(fs FigureSpec, opts RunOptions) (metrics.Figure, error) {
+	fig := metrics.Figure{Name: fs.Name, Title: fs.Title, XLabel: fs.XLabel, YLabel: fs.YLabel}
+	for _, ss := range fs.Series {
+		label := ss.Label
+		if label == "" {
+			label = ss.Cfg.Label()
+		}
+		s, err := runNamedSeries(ss.Cfg, label, ss.Pattern, ss.Rates, ss.Sim, opts)
+		if err != nil {
+			return fig, fmt.Errorf("%s: %w", fs.Name, err)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// runEnergySpec measures every bar of an energy panel as a typed campaign
+// job: the generic scheduler's result type is EnergyBar here, which is what
+// lets energy figures share the fan-out machinery instead of copying it.
+func runEnergySpec(es EnergyFigureSpec, opts RunOptions) (EnergyFigure, error) {
+	fig := EnergyFigure{Name: es.Name, Title: es.Title}
+	jobs := make([]campaign.Job[EnergyBar], len(es.Bars))
+	for i, bar := range es.Bars {
+		jobs[i] = campaign.Job[EnergyBar]{
+			Run: func(w *campaign.Worker) (EnergyBar, error) {
+				// Every bar has a distinct configuration (worker caching
+				// could never hit) and the full-scale panels hold 18560-chip
+				// systems, so build and release per bar to keep peak
+				// residency at one system per worker.
+				sys, err := Build(bar.Cfg)
+				if err != nil {
+					return EnergyBar{}, err
+				}
+				defer sys.Close()
+				pat, err := sys.PatternFor(bar.Pattern)
+				if err != nil {
+					return EnergyBar{}, err
+				}
+				res, err := sys.MeasureLoad(pat, bar.Rate, bar.Sim)
+				if err != nil {
+					return EnergyBar{}, err
+				}
+				st := res.Stats
+				// Simplified pricing: every intra-C-group hop ≈ 1 pJ/bit.
+				intra := st.MeanHops(0)*1 + st.MeanHops(1)*1
+				inter := st.MeanHops(2)*20 + st.MeanHops(3)*20
+				return EnergyBar{Label: bar.Label, Intra: intra, Inter: inter}, nil
+			},
+		}
+	}
+	bars, err := campaign.Run(jobs, campaign.Options[EnergyBar]{Jobs: opts.Jobs})
+	if err != nil {
+		return fig, fmt.Errorf("%s: %w", es.Name, err)
+	}
+	fig.Bars = bars
+	return fig, nil
+}
+
+// runResilienceSpec sweeps every curve of a resilience figure across the
+// shared failure grid.
+func runResilienceSpec(rs ResilienceFigureSpec, opts RunOptions) (metrics.Figure, error) {
+	fig := metrics.Figure{Name: rs.Name, Title: rs.Title, XLabel: rs.XLabel, YLabel: rs.YLabel}
+	for _, ss := range rs.Series {
+		ropts := rs.Opts
+		ropts.Run = opts
+		sweep, err := ResilienceSweep(ss.Cfg, ropts)
+		if err != nil {
+			return fig, fmt.Errorf("%s (%s): %w", rs.Name, ss.Label, err)
+		}
+		s := sweep.Series()
+		if ss.Label != "" {
+			s.Label = ss.Label
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

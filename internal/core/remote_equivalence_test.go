@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"sldf/internal/campaign"
+	"sldf/internal/campaign/remote"
+	"sldf/internal/metrics"
+)
+
+// These tests prove the acceptance criterion end to end on the real
+// simulator: a sweep sharded across an emulated 3-worker cluster is
+// bitwise identical to the serial local sweep, including when a worker is
+// killed partway through the run.
+
+func remoteCluster(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		srv := remote.NewServer(remote.ServerOptions{Jobs: 2})
+		ts := httptest.NewServer(srv)
+		t.Cleanup(func() { ts.Close(); srv.Close() })
+		addrs[i] = ts.URL
+	}
+	return addrs
+}
+
+func TestRemoteSweepBitwiseIdenticalToSerial(t *testing.T) {
+	cfg := Config{Kind: SwitchlessDragonfly, SLDF: Radix16SLDF(), Seed: 11, Workers: 1}
+	cfg.SLDF.G = 1
+	rates := RateGrid(0.2, 1.4, 0.2)
+
+	serial, err := SweepOpts(cfg, "uniform", rates, tinySim(), RunOptions{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	backend, err := remote.New(remoteCluster(t, 3), remote.Options{BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := SweepOpts(cfg, "uniform", rates, tinySim(),
+		RunOptions{Jobs: 4, Backend: backend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dist, serial) {
+		t.Fatalf("3-worker remote sweep diverged from serial:\n%+v\nvs\n%+v", dist, serial)
+	}
+}
+
+// killingProxy forwards to a live worker until its budget of successful
+// requests is spent, then fails everything — a worker lost mid-run.
+type killingProxy struct {
+	backend http.Handler
+	budget  atomic.Int64
+}
+
+func (k *killingProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/run" && k.budget.Add(-1) < 0 {
+		http.Error(w, "worker lost", http.StatusInternalServerError)
+		return
+	}
+	k.backend.ServeHTTP(w, r)
+}
+
+func TestRemoteSweepSurvivesWorkerLossMidRun(t *testing.T) {
+	cfg := Config{Kind: MeshCGroup, ChipletDim: 2, NoCDim: 2, Seed: 3, Workers: 1}
+	rates := RateGrid(0.3, 2.1, 0.3)
+
+	serial, err := SweepOpts(cfg, "uniform", rates, tinySim(), RunOptions{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 3; trial++ {
+		addrs := make([]string, 3)
+		for i := range addrs {
+			srv := remote.NewServer(remote.ServerOptions{Jobs: 1})
+			var h http.Handler = srv
+			if i == 0 {
+				// The first worker dies after a seeded number of batches.
+				kp := &killingProxy{backend: srv}
+				kp.budget.Store(int64(rng.Intn(3)))
+				h = kp
+			}
+			ts := httptest.NewServer(h)
+			t.Cleanup(func() { ts.Close(); srv.Close() })
+			addrs[i] = ts.URL
+		}
+		backend, err := remote.New(addrs, remote.Options{BatchSize: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist, err := SweepOpts(cfg, "uniform", rates, tinySim(),
+			RunOptions{Jobs: 4, Backend: backend})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(dist, serial) {
+			t.Fatalf("trial %d: sweep after worker loss diverged from serial", trial)
+		}
+	}
+}
+
+// TestRemoteWorkerStoreServesReplays exercises the daemon-side store tier:
+// a second identical sweep is answered from the worker's memory tier
+// without re-simulation, byte-identically.
+func TestRemoteWorkerStoreServesReplays(t *testing.T) {
+	store := campaign.NewMemoryLRU[metrics.Point](128)
+	srv := remote.NewServer(remote.ServerOptions{Jobs: 2, Store: store})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	cfg := Config{Kind: MeshCGroup, ChipletDim: 2, NoCDim: 2, Seed: 8, Workers: 1}
+	rates := RateGrid(0.5, 1.5, 0.5)
+	backend, err := remote.New([]string{ts.URL}, remote.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := SweepOpts(cfg, "uniform", rates, tinySim(), RunOptions{Backend: backend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Hits() != 0 || store.Len() != len(rates) {
+		t.Fatalf("cold run: hits=%d len=%d", store.Hits(), store.Len())
+	}
+	warm, err := SweepOpts(cfg, "uniform", rates, tinySim(), RunOptions{Backend: backend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(store.Hits()) != len(rates) {
+		t.Fatalf("warm run hits=%d, want %d", store.Hits(), len(rates))
+	}
+	if !reflect.DeepEqual(warm, cold) {
+		t.Fatal("worker-store replay diverged")
+	}
+}

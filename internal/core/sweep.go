@@ -13,14 +13,24 @@ import (
 
 // RunOptions configure how a sweep's load points are executed.
 type RunOptions struct {
-	// Jobs is the number of measurement points run concurrently (<= 1 runs
-	// serially). Results are bitwise identical for any value: every point
-	// starts from an identical just-built network state and has its result
-	// slot fixed up front.
+	// Jobs is the number of measurement points run (or dispatched)
+	// concurrently (<= 1 runs serially). Results are bitwise identical for
+	// any value: every point starts from an identical just-built network
+	// state and has its result slot fixed up front.
 	Jobs int
-	// Cache, when non-nil, skips points already measured with an identical
-	// (config, pattern, rate, sim-params) key and records new ones.
-	Cache *campaign.Cache
+	// Store, when non-nil, skips points already measured with an identical
+	// (config, pattern, rate, sim-params) key and records new ones. Wrap
+	// the disk cache in a memory tier (campaign.NewTiered) so hot replays
+	// skip the filesystem.
+	Store campaign.PointStore
+	// Backend selects where named-pattern sweep points execute: nil or
+	// campaign.LocalBackend{} runs them on this process's worker pool, a
+	// remote backend shards them across worker daemons. Every backend is
+	// result-transparent (see campaign.Backend), so the sweep output is
+	// bitwise identical whichever executes it. Sweeps whose pattern is a
+	// caller-supplied closure (SweepScopedOpts) cannot be shipped as data
+	// and always run locally.
+	Backend campaign.Backend
 }
 
 // RateGrid returns the inclusive grid lo, lo+step, ..., hi using integer
@@ -126,8 +136,7 @@ func Sweep(cfg Config, patternName string, rates []float64, sp SimParams) (metri
 // between its points, so the series equals the historical build-per-point
 // output for any worker count.
 func SweepOpts(cfg Config, patternName string, rates []float64, sp SimParams, opts RunOptions) (metrics.Series, error) {
-	mk := func(sys *System) (traffic.Pattern, error) { return sys.PatternFor(patternName) }
-	return runSeries(cfg, mk, cfg.Label(), patternName, rates, sp, opts)
+	return runNamedSeries(cfg, cfg.Label(), patternName, rates, sp, opts)
 }
 
 // SweepScoped is Sweep with a caller-supplied pattern factory, for traffic
@@ -146,33 +155,22 @@ func SweepScopedOpts(cfg Config, mkPattern func(*System) traffic.Pattern, label,
 	if label == "" {
 		label = cfg.Label()
 	}
-	mk := func(sys *System) (traffic.Pattern, error) { return mkPattern(sys), nil }
-	return runSeries(cfg, mk, label, patternKey, rates, sp, opts)
-}
-
-// runSeries fans the rate points out as campaign jobs and assembles the
-// series in rate order.
-func runSeries(cfg Config, mkPattern func(*System) (traffic.Pattern, error), label, patternKey string, rates []float64, sp SimParams, opts RunOptions) (metrics.Series, error) {
 	series := metrics.Series{Label: label}
 	sysKey := cfg.cacheID()
-	jobs := make([]campaign.Job, len(rates))
+	jobs := make([]campaign.Job[metrics.Point], len(rates))
 	for i, rate := range rates {
 		var key string
 		if patternKey != "" {
 			key = pointKey(cfg, patternKey, rate, sp)
 		}
-		jobs[i] = campaign.Job{
+		jobs[i] = campaign.Job[metrics.Point]{
 			Key: key,
 			Run: func(w *campaign.Worker) (metrics.Point, error) {
 				sys, err := workerSystem(w, sysKey, cfg)
 				if err != nil {
 					return metrics.Point{}, err
 				}
-				pat, err := mkPattern(sys)
-				if err != nil {
-					return metrics.Point{}, err
-				}
-				res, err := sys.MeasureLoad(pat, rate, sp)
+				res, err := sys.MeasureLoad(mkPattern(sys), rate, sp)
 				if err != nil {
 					return metrics.Point{}, err
 				}
@@ -180,7 +178,33 @@ func runSeries(cfg Config, mkPattern func(*System) (traffic.Pattern, error), lab
 			},
 		}
 	}
-	pts, err := campaign.Run(jobs, campaign.Options{Jobs: opts.Jobs, Cache: opts.Cache})
+	pts, err := campaign.Run(jobs, campaign.Options[metrics.Point]{Jobs: opts.Jobs, Store: opts.Store})
+	if err != nil {
+		return series, err
+	}
+	series.Points = pts
+	return series, nil
+}
+
+// runNamedSeries executes a named-pattern sweep through the Backend seam:
+// the rate points become declarative job specs (data, not code) that the
+// backend — in-process pool or remote worker fleet — executes and merges
+// deterministically.
+func runNamedSeries(cfg Config, label, pattern string, rates []float64, sp SimParams, opts RunOptions) (metrics.Series, error) {
+	series := metrics.Series{Label: label}
+	specs := make([]campaign.JobSpec, len(rates))
+	for i, rate := range rates {
+		spec, err := PointJob(cfg, pattern, rate, sp)
+		if err != nil {
+			return series, err
+		}
+		specs[i] = spec
+	}
+	backend := opts.Backend
+	if backend == nil {
+		backend = campaign.LocalBackend{}
+	}
+	pts, err := backend.Execute(specs, campaign.ExecOptions{Jobs: opts.Jobs, Store: opts.Store})
 	if err != nil {
 		return series, err
 	}

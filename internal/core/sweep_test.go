@@ -199,14 +199,14 @@ func TestSweepCacheReplayEqualsColdRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cold, err := SweepOpts(cfg, "uniform", rates, tinySim(), RunOptions{Cache: cache})
+	cold, err := SweepOpts(cfg, "uniform", rates, tinySim(), RunOptions{Store: cache})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cache.Hits() != 0 || cache.Misses() == 0 {
 		t.Fatalf("cold run: hits=%d misses=%d", cache.Hits(), cache.Misses())
 	}
-	warm, err := SweepOpts(cfg, "uniform", rates, tinySim(), RunOptions{Cache: cache, Jobs: 4})
+	warm, err := SweepOpts(cfg, "uniform", rates, tinySim(), RunOptions{Store: cache, Jobs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +220,7 @@ func TestSweepCacheReplayEqualsColdRun(t *testing.T) {
 	// A different seed must not hit the same cache entries.
 	cfg2 := cfg
 	cfg2.Seed = 6
-	if _, err := SweepOpts(cfg2, "uniform", rates[:1], tinySim(), RunOptions{Cache: cache}); err != nil {
+	if _, err := SweepOpts(cfg2, "uniform", rates[:1], tinySim(), RunOptions{Store: cache}); err != nil {
 		t.Fatal(err)
 	}
 	if int(cache.Hits()) != len(rates) {

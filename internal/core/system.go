@@ -296,6 +296,11 @@ func (s *System) PatternFor(name string) (traffic.Pattern, error) {
 		return traffic.Hotspot{ChipsPerGroup: int32(s.ChipsPerGroup), HotGroups: hot}, nil
 	case "worst-case", "worstcase":
 		return traffic.WorstCase{ChipsPerGroup: int32(s.ChipsPerGroup), Groups: int32(s.Groups)}, nil
+	case "local-uniform-wgroup":
+		// Uniform traffic confined to the chips of one W-group (the first
+		// ChipsPerGroup chip IDs) — Fig. 12(a)'s local-performance workload,
+		// named so the spec stays pure data.
+		return traffic.Uniform{N: int32(s.ChipsPerGroup)}, nil
 	case "ring":
 		return s.ringPattern(false), nil
 	case "ring-bidir":

@@ -66,6 +66,34 @@ type Figure struct {
 	Series []Series
 }
 
+// EnergyBar is one bar of an energy figure (paper Fig. 15): average
+// transmission energy split into intra- and inter-C-group components.
+type EnergyBar struct {
+	Label string
+	Intra float64 // pJ/bit inside C-groups (NoC + short-reach)
+	Inter float64 // pJ/bit on long-reach cables
+}
+
+// Total returns the bar height.
+func (b EnergyBar) Total() float64 { return b.Intra + b.Inter }
+
+// EnergyFigure is one energy-bar panel.
+type EnergyFigure struct {
+	Name  string
+	Title string
+	Bars  []EnergyBar
+}
+
+// CSV renders the panel's bars with intra/inter/total pJ-per-bit columns.
+func (f EnergyFigure) CSV() string {
+	var b strings.Builder
+	b.WriteString("system,intra_pj_per_bit,inter_pj_per_bit,total_pj_per_bit\n")
+	for _, bar := range f.Bars {
+		fmt.Fprintf(&b, "%s,%.3f,%.3f,%.3f\n", bar.Label, bar.Intra, bar.Inter, bar.Total())
+	}
+	return b.String()
+}
+
 // CSV renders the figure as rate-indexed CSV with one latency and one
 // throughput column per series.
 func (f Figure) CSV() string {

@@ -79,3 +79,20 @@ func TestTableRenders(t *testing.T) {
 		t.Fatalf("table output missing sections:\n%s", out)
 	}
 }
+
+func TestEnergyFigureCSV(t *testing.T) {
+	f := EnergyFigure{Name: "fig15a", Bars: []EnergyBar{
+		{Label: "sw-based", Intra: 0, Inter: 134.25},
+		{Label: "sw-less", Intra: 33.2, Inter: 93.4},
+	}}
+	got := f.CSV()
+	want := "system,intra_pj_per_bit,inter_pj_per_bit,total_pj_per_bit\n" +
+		"sw-based,0.000,134.250,134.250\n" +
+		"sw-less,33.200,93.400,126.600\n"
+	if got != want {
+		t.Fatalf("CSV:\n%s\nwant:\n%s", got, want)
+	}
+	if tot := (EnergyBar{Intra: 2.5, Inter: 40}).Total(); tot != 42.5 {
+		t.Fatalf("total %v", tot)
+	}
+}

@@ -94,10 +94,17 @@ type (
 	// EngineKind selects the cycle engine (see SimParams.Engine).
 	EngineKind = netsim.EngineKind
 	// RunOptions configure how a sweep's points execute (concurrent jobs,
-	// on-disk point cache).
+	// result store, execution backend).
 	RunOptions = core.RunOptions
-	// Cache is an on-disk store of measured load points.
+	// Cache is the on-disk tier of the point store.
 	Cache = campaign.Cache
+	// PointStore is the pluggable result-store seam: the disk Cache, an
+	// in-memory LRU, or a tiered combination (see NewTieredStore).
+	PointStore = campaign.PointStore
+	// Backend is the pluggable execution seam: jobs run on this process's
+	// worker pool or shard across sldfd worker daemons, with bitwise
+	// identical results.
+	Backend = campaign.Backend
 )
 
 // Build constructs the system described by cfg.
@@ -110,14 +117,25 @@ func Sweep(cfg Config, pattern string, rates []float64, sp SimParams) (Series, e
 }
 
 // SweepOpts is Sweep with execution options: opts.Jobs measures points
-// concurrently (results are bitwise identical for any value) and opts.Cache
-// lets a re-run skip points already measured.
+// concurrently (results are bitwise identical for any value), opts.Store
+// lets a re-run skip points already measured, and opts.Backend selects
+// where points execute (local pool or remote worker daemons).
 func SweepOpts(cfg Config, pattern string, rates []float64, sp SimParams, opts RunOptions) (Series, error) {
 	return core.SweepOpts(cfg, pattern, rates, sp, opts)
 }
 
 // OpenCache opens (creating if needed) an on-disk point cache at dir.
 func OpenCache(dir string) (*Cache, error) { return campaign.OpenCache(dir) }
+
+// NewTieredStore fronts an on-disk cache with an in-memory LRU holding up
+// to mem points, so hot replays never touch the filesystem. cache may be
+// nil for a memory-only store.
+func NewTieredStore(mem int, cache *Cache) PointStore {
+	if cache == nil {
+		return campaign.NewMemoryLRU[metrics.Point](mem)
+	}
+	return campaign.NewTiered[metrics.Point](campaign.NewMemoryLRU[metrics.Point](mem), cache)
+}
 
 // RateGrid returns the inclusive injection-rate grid lo, lo+step, ..., hi
 // using integer stepping (no accumulated floating-point drift).
