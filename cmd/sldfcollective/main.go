@@ -1,80 +1,181 @@
-// Command sldfcollective measures AllReduce schedule makespans on a wafer
-// C-group mesh vs a switch-attached group: the flat ring, the bidirectional
-// ring, and the 2D row-column algorithm of paper Fig. 4.
+// Command sldfcollective measures collective-communication makespans on
+// the evaluated systems: the paper Fig. 4 latency argument (ring vs 2D
+// row-column vs hierarchical AllReduce) run end to end, with every step
+// drained to its exact completion cycle. Jobs run through the campaign
+// pipeline, so they are content-addressed (resumable with -cache), fan out
+// locally with -jobs, and shard across sldfd worker daemons with -remote —
+// all byte-identical to a serial run.
 //
-//	sldfcollective -chips 16 -volume 4096
+//	sldfcollective -dim 4 -volume 4096
+//	sldfcollective -systems sw-less,2d-mesh -schedules ring,hierarchical
+//	sldfcollective -jobs 8 -cache .pts -csv collective.csv
+//	sldfcollective -remote host1:8437,host2:8437
+//	sldfcollective -faults 0.05 -faultseed 3      # re-routed around faults
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"math"
+	"io"
 	"os"
+	"slices"
+	"strings"
 
-	"sldf/internal/collective"
+	"sldf/internal/campaign"
+	"sldf/internal/campaign/remote"
 	"sldf/internal/core"
+	"sldf/internal/metrics"
+	"sldf/internal/topology"
 )
 
 func main() {
-	var (
-		chipDim = flag.Int("dim", 4, "chip grid dimension (dim×dim chips per C-group)")
-		volume  = flag.Int64("volume", 4096, "AllReduce payload per chip in flits")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-	)
-	flag.Parse()
-	dim := *chipDim
-	chips := dim * dim
-
-	type system struct {
-		name string
-		cfg  core.Config
-	}
-	systems := []system{
-		{"switch", core.Config{Kind: core.SingleSwitch, Terminals: chips, Seed: *seed}},
-		{"mesh-cgroup", core.Config{Kind: core.MeshCGroup, ChipletDim: dim, NoCDim: 2, Seed: *seed}},
-	}
-	schedules := []struct {
-		name string
-		mk   func() collective.Schedule
-	}{
-		{"ring", func() collective.Schedule {
-			return collective.RingAllReduce(collective.SnakeOrder(dim, dim), *volume)
-		}},
-		{"bidir-ring", func() collective.Schedule {
-			return collective.BidirRingAllReduce(collective.SnakeOrder(dim, dim), *volume)
-		}},
-		{"2d-row-col", func() collective.Schedule {
-			return collective.TwoDAllReduce(dim, dim, *volume)
-		}},
-	}
-
-	fmt.Printf("AllReduce makespan, %d chips, %d flits/chip payload\n\n", chips, *volume)
-	fmt.Printf("%-14s %-12s %8s %12s %14s\n", "system", "schedule", "steps", "cycles", "flits/cyc/chip")
-	for _, sys := range systems {
-		for _, sch := range schedules {
-			s, err := core.Build(sys.cfg)
-			if err != nil {
-				fatalf("build %s: %v", sys.name, err)
-			}
-			schedule := sch.mk()
-			res, err := collective.Run(s.Net, schedule, 4, 1<<22)
-			s.Close()
-			if err != nil {
-				fatalf("%s/%s: %v", sys.name, sch.name, err)
-			}
-			eff := float64(res.Packets) * 4 / float64(res.Cycles) / float64(chips)
-			fmt.Printf("%-14s %-12s %8d %12d %14.2f\n",
-				sys.name, sch.name, schedule.StepCount(), res.Cycles, eff)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, errUsage) {
+			os.Exit(2) // the flag package's historical usage-error status
 		}
+		fmt.Fprintf(os.Stderr, "sldfcollective: %v\n", err)
+		os.Exit(1)
 	}
-	fmt.Printf("\nring steps grow O(N); the 2D algorithm needs O(√N)=%d steps — the\n",
-		4*(dim-1))
-	fmt.Printf("Fig. 4(b) latency argument. Ideal speedup ring→2D ≈ %.1f×.\n",
-		float64(2*(chips-1))/math.Max(1, float64(4*(dim-1))))
-	os.Exit(0)
 }
 
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "sldfcollective: "+format+"\n", args...)
-	os.Exit(1)
+// errUsage signals main that the flag package already reported the problem
+// (usage text included) on the error writer.
+var errUsage = errors.New("usage error")
+
+// systemNames are the -systems values, in presentation order.
+var systemNames = []string{"switch", "2d-mesh", "sw-based", "sw-less"}
+
+// run executes the command with the given arguments, writing the report to
+// w and diagnostics to errw. Split from main so tests can drive flag
+// parsing, execution and formatting.
+func run(args []string, w, errw io.Writer) error {
+	fs := flag.NewFlagSet("sldfcollective", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	systems := fs.String("systems", strings.Join(systemNames, ","),
+		"comma-separated systems: "+strings.Join(systemNames, " | "))
+	schedules := fs.String("schedules", strings.Join(core.CollectiveSchedules(), ","),
+		"comma-separated schedules: "+strings.Join(core.CollectiveSchedules(), " | "))
+	dim := fs.Int("dim", 4, "chip grid dimension for switch/2d-mesh (dim×dim chips)")
+	volume := fs.Int64("volume", 4096, "AllReduce payload per chip in flits")
+	packet := fs.Int("packet", core.DefaultCollectivePacket, "packet size in flits (used for injection AND the efficiency column)")
+	maxStep := fs.Int64("maxstep", 0, "cycle bound per dependent step (0 = the collective.Run default, 1<<20)")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	faults := fs.Float64("faults", 0, "fraction of eligible links to fail (schedules re-route around dead chips)")
+	faultRouters := fs.Float64("faultrouters", 0, "fraction of eligible routers to fail")
+	faultSeed := fs.Uint64("faultseed", 1, "fault-draw seed")
+	jobs := fs.Int("jobs", 1, "cases measured concurrently (results identical for any value)")
+	cacheDir := fs.String("cache", "", "directory for the on-disk result cache (empty = off)")
+	remoteAddrs := fs.String("remote", "", "comma-separated sldfd worker addresses; shards cases across them (results identical to local)")
+	csvPath := fs.String("csv", "", "also write the panel as CSV to this path (\"-\" = stdout)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h printed usage; that is success, not failure
+		}
+		return errUsage // the flag package already printed error + usage
+	}
+	if *dim < 2 {
+		return fmt.Errorf("-dim must be >= 2 (got %d)", *dim)
+	}
+	if *packet < 1 {
+		return fmt.Errorf("-packet must be >= 1 (got %d)", *packet)
+	}
+
+	var spec core.CollectiveFigureSpec
+	spec.Name = "collective"
+	spec.Title = fmt.Sprintf("Collective makespans, %d flits/chip payload", *volume)
+	scheduleList := strings.Split(*schedules, ",")
+	for _, sch := range scheduleList {
+		if !slices.Contains(core.CollectiveSchedules(), sch) {
+			return fmt.Errorf("unknown schedule %q (want %s)",
+				sch, strings.Join(core.CollectiveSchedules(), ", "))
+		}
+	}
+	faultSpec := topology.FaultSpec{Seed: *faultSeed, LinkFraction: *faults, RouterFraction: *faultRouters}
+	for _, name := range strings.Split(*systems, ",") {
+		cfg, err := systemConfig(name, *dim, *seed)
+		if err != nil {
+			return err
+		}
+		if *faults > 0 || *faultRouters > 0 {
+			cfg.Faults = faultSpec
+		}
+		for _, sch := range scheduleList {
+			spec.Cases = append(spec.Cases, core.CollectiveCaseSpec{
+				Cfg: cfg, Schedule: sch, Label: name, Volume: *volume,
+				PacketSize: int32(*packet), MaxStepCycles: *maxStep,
+			})
+		}
+	}
+
+	opts := core.RunOptions{Jobs: *jobs}
+	var diskCache *campaign.Cache
+	if *cacheDir != "" {
+		c, err := campaign.OpenCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		diskCache = c
+		opts.Store = campaign.NewTiered[metrics.Point](
+			campaign.NewMemoryLRU[metrics.Point](1024), c)
+	}
+	if *remoteAddrs != "" {
+		backend, err := remote.New(strings.Split(*remoteAddrs, ","), remote.Options{})
+		if err != nil {
+			return err
+		}
+		if err := backend.Check(); err != nil {
+			return err
+		}
+		opts.Backend = backend
+		fmt.Fprintf(errw, "backend: %s\n", backend.Name())
+	}
+
+	fig, err := core.RunCollectiveFigure(spec, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "%s\n\n", fig.Title)
+	fmt.Fprintf(w, "%-10s %-16s %8s %12s %10s %14s\n",
+		"system", "schedule", "steps", "cycles", "packets", "flits/cyc/chip")
+	for _, r := range fig.Rows {
+		fmt.Fprintf(w, "%-10s %-16s %8d %12d %10d %14.2f\n",
+			r.System, r.Schedule, r.Steps, r.Cycles, r.Packets, r.Efficiency)
+	}
+	if *csvPath != "" {
+		csv := fig.CSV()
+		if *csvPath == "-" {
+			fmt.Fprint(w, "\n"+csv)
+		} else if err := os.WriteFile(*csvPath, []byte(csv), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", *csvPath, err)
+		}
+	}
+	if diskCache != nil {
+		fmt.Fprintln(errw, diskCache.StatsLine())
+	}
+	return nil
+}
+
+// systemConfig maps a -systems name to its configuration: switch and
+// 2d-mesh sized by -dim, the Dragonfly pair as one radix-16 W-group (the
+// intra-W-group scale the paper's Fig. 4 argues about).
+func systemConfig(name string, dim int, seed uint64) (core.Config, error) {
+	switch name {
+	case "switch":
+		return core.Config{Kind: core.SingleSwitch, Terminals: dim * dim, Seed: seed}, nil
+	case "2d-mesh":
+		return core.Config{Kind: core.MeshCGroup, ChipletDim: dim, NoCDim: 2, Seed: seed}, nil
+	case "sw-based":
+		cfg := core.Config{Kind: core.SwitchDragonfly, DF: core.Radix16DF(), Seed: seed}
+		cfg.DF.G = 1
+		return cfg, nil
+	case "sw-less":
+		cfg := core.Config{Kind: core.SwitchlessDragonfly, SLDF: core.Radix16SLDF(), Seed: seed}
+		cfg.SLDF.G = 1
+		return cfg, nil
+	default:
+		return core.Config{}, fmt.Errorf("unknown system %q (want %s)",
+			name, strings.Join(systemNames, ", "))
+	}
 }

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunHelp(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-h"}, &out, &errOut); err != nil {
+		t.Fatalf("-h must succeed, got %v", err)
+	}
+	if !strings.Contains(errOut.String(), "Usage of sldfcollective") {
+		t.Errorf("-h did not print usage on the error writer:\n%s", errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("-h wrote to the data stream: %q", out.String())
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-systems", "nope"},
+		{"-schedules", "nope"},
+		{"-dim", "1"},
+		{"-packet", "0"},
+		{"-no-such-flag"},
+		{"-jobs", "x"},
+	}
+	for _, args := range cases {
+		var buf strings.Builder
+		if err := run(args, &buf, io.Discard); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunTinyCollective(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "collective.csv")
+	var buf strings.Builder
+	args := []string{"-systems", "switch,2d-mesh", "-schedules", "ring,2d",
+		"-dim", "2", "-volume", "64", "-jobs", "2", "-csv", csv}
+	if err := run(args, &buf, io.Discard); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"system", "schedule", "switch", "2d-mesh", "ring"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q in:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatalf("CSV not written: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 1+4 { // header + 2 systems × 2 schedules
+		t.Fatalf("CSV has %d lines, want 5:\n%s", len(lines), data)
+	}
+	if lines[0] != "system,schedule,steps,cycles,packets,flits_per_cycle_per_chip,step_cycles" {
+		t.Errorf("unexpected header %q", lines[0])
+	}
+}
+
+// TestRunPacketSizeThreadsThrough pins the -packet satellite fix: the flag
+// changes both the injected packets and the efficiency column, so two runs
+// at different packet sizes report different step traces while moving the
+// same payload.
+func TestRunPacketSizeThreadsThrough(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	csvFor := func(packet string) string {
+		dir := t.TempDir()
+		csv := filepath.Join(dir, "out.csv")
+		var buf strings.Builder
+		args := []string{"-systems", "2d-mesh", "-schedules", "ring",
+			"-dim", "2", "-volume", "256", "-packet", packet, "-csv", csv}
+		if err := run(args, &buf, io.Discard); err != nil {
+			t.Fatalf("run(-packet %s): %v", packet, err)
+		}
+		data, err := os.ReadFile(csv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	p4, p8 := csvFor("4"), csvFor("8")
+	if p4 == p8 {
+		t.Fatalf("-packet had no effect on the measurement:\n%s", p4)
+	}
+	// Packets halve when the packet size doubles (same payload volume).
+	f4, f8 := strings.Split(strings.Split(p4, "\n")[1], ","), strings.Split(strings.Split(p8, "\n")[1], ",")
+	if f4[4] == f8[4] {
+		t.Errorf("packet count identical across -packet 4/8: %s vs %s", f4[4], f8[4])
+	}
+}
+
+func TestRunCacheReplayByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "cache")
+	args := func(csv string) []string {
+		return []string{"-systems", "2d-mesh", "-schedules", "ring,hierarchical",
+			"-dim", "2", "-volume", "64", "-cache", cache, "-csv", csv}
+	}
+	cold, warm := filepath.Join(dir, "cold.csv"), filepath.Join(dir, "warm.csv")
+	var buf strings.Builder
+	if err := run(args(cold), &buf, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args(warm), &buf, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("cache replay diverged:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -1,6 +1,8 @@
 // Command sldfd is the sweep worker daemon: it executes campaign job specs
-// shipped by a coordinator (sldfsweep -remote / sldffigures -remote) over
-// the HTTP/JSON protocol in internal/campaign/remote.
+// shipped by a coordinator (sldfsweep -remote / sldffigures -remote /
+// sldfcollective -remote) over the HTTP/JSON protocol in
+// internal/campaign/remote. Registered job kinds: core/point@v1 (sweep
+// load points) and collective/makespan@v1 (collective executions).
 //
 //	sldfd -listen :8437 -jobs 8                 # 8 concurrent measurements
 //	sldfd -listen :8437 -cache /var/sldf/points # with a durable point store

@@ -131,6 +131,17 @@ func run(args []string, w, errw io.Writer) error {
 				return fmt.Errorf("write %s: %w", path, err)
 			}
 		}
+		for _, f := range res.Collectives {
+			path := filepath.Join(*out, f.Name+".csv")
+			if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
+				return fmt.Errorf("write %s: %w", path, err)
+			}
+			fmt.Fprintf(w, "== %s — %s (%s)\n", f.Name, f.Title, path)
+			for _, r := range f.Rows {
+				fmt.Fprintf(w, "   %-14s %-16s %4d steps %10d cycles  %.2f flits/cyc/chip\n",
+					r.System, r.Schedule, r.Steps, r.Cycles, r.Efficiency)
+			}
+		}
 		fmt.Fprintf(w, "-- fig %s done in %s\n", spec.Name, time.Since(start).Round(time.Second))
 		// Latency experiments historically end with a blank separator line;
 		// the energy panel (Fig. 15) closes the report without one.

@@ -182,6 +182,20 @@ func experimentRegistry(w io.Writer) {
 			fmt.Fprintf(w, "  %-10s %-34s %d series over %d fractions: %s\n",
 				f.Name, f.Title, len(f.Series), len(f.Opts.Fractions), strings.Join(labels, ", "))
 		}
+		for _, f := range plan.Collectives {
+			systems := map[string]bool{}
+			schedules := map[string]bool{}
+			for _, c := range f.Cases {
+				label := c.Label
+				if label == "" {
+					label = c.Cfg.Label()
+				}
+				systems[label] = true
+				schedules[c.Schedule] = true
+			}
+			fmt.Fprintf(w, "  %-10s %-34s %d cases: %d systems × %d schedules\n",
+				f.Name, f.Title, len(f.Cases), len(systems), len(schedules))
+		}
 	}
 	fmt.Fprintln(w)
 }

@@ -59,15 +59,13 @@ func main() {
 		vol := traffic.NewVolume(ring, volume, 4, sys.Chips, sys.NodesPerChip)
 		sys.Net.SetTraffic(vol, 4, netsim.DstSameIndex)
 		sys.Net.StartMeasurement()
-		cycles := int64(0)
-		for !vol.Done() || sys.Net.InFlight() > 0 {
-			if err := sys.Net.Run(100); err != nil {
-				log.Fatal(err)
-			}
-			cycles += 100
-			if cycles > 1_000_000 {
-				log.Fatal("makespan run did not converge")
-			}
+		// RunUntil drains to the exact completion cycle — no batch-size
+		// quantization in the reported makespan.
+		cycles, err := sys.Net.RunUntil(func(n *netsim.Network) bool {
+			return n.InFlight() == 0 && vol.Done()
+		}, 1_000_000)
+		if err != nil {
+			log.Fatal(err)
 		}
 		st := sys.Net.Snapshot()
 		fmt.Printf("  %-14s %6d cycles for %d packets (%.2f flits/cycle/chip effective)\n",

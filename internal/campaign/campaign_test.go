@@ -112,7 +112,7 @@ func TestCacheRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	got, ok := c.Get("k1")
-	if !ok || got != pt {
+	if !ok || !reflect.DeepEqual(got, pt) {
 		t.Fatalf("round trip: %+v, ok=%v", got, ok)
 	}
 	if c.Hits() != 1 || c.Misses() != 1 {
@@ -123,7 +123,7 @@ func TestCacheRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, ok := c2.Get("k1"); !ok || got != pt {
+	if got, ok := c2.Get("k1"); !ok || !reflect.DeepEqual(got, pt) {
 		t.Fatal("entry not persistent across opens")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -24,10 +25,10 @@ func TestMemoryLRUEvictsLeastRecentlyUsed(t *testing.T) {
 	if _, ok := m.Get("b"); ok {
 		t.Fatal("b not evicted (LRU order broken)")
 	}
-	if got, ok := m.Get("a"); !ok || got != a {
+	if got, ok := m.Get("a"); !ok || !reflect.DeepEqual(got, a) {
 		t.Fatalf("a lost: %+v ok=%v", got, ok)
 	}
-	if got, ok := m.Get("c"); !ok || got != c {
+	if got, ok := m.Get("c"); !ok || !reflect.DeepEqual(got, c) {
 		t.Fatalf("c lost: %+v ok=%v", got, ok)
 	}
 	if m.Len() != 2 {
@@ -76,14 +77,14 @@ func TestTieredPromotesColdHits(t *testing.T) {
 		t.Fatal(err)
 	}
 	tiered2 := NewTiered[metrics.Point](hot2, disk2)
-	if got, ok := tiered2.Get("k"); !ok || got != pt {
+	if got, ok := tiered2.Get("k"); !ok || !reflect.DeepEqual(got, pt) {
 		t.Fatalf("cold get: %+v ok=%v", got, ok)
 	}
 	if disk2.Hits() != 1 {
 		t.Fatalf("first get should hit disk, hits=%d", disk2.Hits())
 	}
 	// The hit was promoted: the second lookup must not touch the disk.
-	if got, ok := tiered2.Get("k"); !ok || got != pt {
+	if got, ok := tiered2.Get("k"); !ok || !reflect.DeepEqual(got, pt) {
 		t.Fatalf("hot get: %+v ok=%v", got, ok)
 	}
 	if disk2.Hits() != 1 {

@@ -7,17 +7,29 @@
 package collective
 
 import (
+	"errors"
 	"fmt"
 
 	"sldf/internal/netsim"
 	"sldf/internal/traffic"
 )
 
+// ErrPartitioned reports that a schedule cannot be built because faults
+// leave fewer than two participants able to communicate — there is no
+// collective to run. Callers match it with errors.Is.
+var ErrPartitioned = errors.New("collective: fewer than two alive participants")
+
 // Step is one dependent phase of a collective: every participating chip
 // sends Flits flits according to Pattern before the next step may begin.
 type Step struct {
 	Pattern traffic.Pattern
 	Flits   int64
+	// Participants lists the chips that transmit during this step; nil means
+	// every chip of the network. Steps that involve only a subset (a
+	// hierarchical phase, a schedule re-routed around dead chips) must list
+	// it, or the step barrier would wait forever on chips with nothing to
+	// send.
+	Participants []int32
 }
 
 // Schedule is an ordered list of dependent steps.
@@ -38,11 +50,169 @@ func RingAllReduce(order []int32, volume int64) Schedule {
 	steps := make([]Step, 0, 2*(n-1))
 	for i := int64(0); i < 2*(n-1); i++ {
 		steps = append(steps, Step{
-			Pattern: traffic.NewRingOrder(order, false),
-			Flits:   chunk,
+			Pattern:      traffic.NewRingOrder(order, false),
+			Flits:        chunk,
+			Participants: order,
 		})
 	}
 	return Schedule{Name: "ring-allreduce", Steps: steps}
+}
+
+// ReduceScatter returns the ring reduce-scatter half of the AllReduce:
+// N−1 steps, each moving volume/N flits per chip to its ring successor,
+// after which every chip holds one fully reduced shard.
+func ReduceScatter(order []int32, volume int64) Schedule {
+	return ringHalf("reduce-scatter", order, volume)
+}
+
+// AllGather returns the ring all-gather half: N−1 steps of volume/N flits
+// per chip, circulating every shard to every participant.
+func AllGather(order []int32, volume int64) Schedule {
+	return ringHalf("all-gather", order, volume)
+}
+
+// ringHalf is the shared shape of reduce-scatter and all-gather: one ring
+// pass instead of the AllReduce's two.
+func ringHalf(name string, order []int32, volume int64) Schedule {
+	n := int64(len(order))
+	if n < 2 {
+		return Schedule{Name: name}
+	}
+	chunk := (volume + n - 1) / n
+	steps := make([]Step, 0, n-1)
+	for i := int64(0); i < n-1; i++ {
+		steps = append(steps, Step{
+			Pattern:      traffic.NewRingOrder(order, false),
+			Flits:        chunk,
+			Participants: order,
+		})
+	}
+	return Schedule{Name: name, Steps: steps}
+}
+
+// AllToAll returns the rotation (shift) schedule for an all-to-all
+// personalized exchange: N−1 steps; in step k every participant i sends its
+// volume/N chunk destined for participant (i+k) mod N directly. Unlike the
+// ring schedules, each step is a different permutation, exercising the
+// network's bisection rather than neighbour links.
+func AllToAll(order []int32, volume int64) Schedule {
+	n := len(order)
+	if n < 2 {
+		return Schedule{Name: "all-to-all"}
+	}
+	chunk := (volume + int64(n) - 1) / int64(n)
+	steps := make([]Step, 0, n-1)
+	for k := 1; k < n; k++ {
+		perm := identityMap(order)
+		for i, c := range order {
+			perm[c] = order[(i+k)%n]
+		}
+		steps = append(steps, Step{
+			Pattern:      traffic.Permutation{Map: perm, Desc: fmt.Sprintf("a2a-shift-%d", k)},
+			Flits:        chunk,
+			Participants: order,
+		})
+	}
+	return Schedule{Name: "all-to-all", Steps: steps}
+}
+
+// identityMap returns a self-mapped permutation table covering every chip
+// that appears in order (self-maps read as silence under
+// traffic.Permutation), so schedule permutations stay silent for
+// non-participants.
+func identityMap(order []int32) []int32 {
+	max := int32(0)
+	for _, c := range order {
+		if c > max {
+			max = c
+		}
+	}
+	m := make([]int32, max+1)
+	for i := range m {
+		m[i] = int32(i)
+	}
+	return m
+}
+
+// HierarchicalAllReduce returns the two-level schedule over equally sized
+// chip groups (the W-groups of a Dragonfly, or sub-blocks of a flat
+// system): an intra-group ring reduce-scatter, a ring AllReduce of each
+// shard slot across the groups, then an intra-group all-gather. With G
+// groups of m chips it needs 2(m−1) + 2(G−1) dependent steps instead of
+// the flat ring's 2(Gm−1), yet moves exactly the same per-chip volume —
+// 2(Gm−1)/(Gm)·V when V divides evenly — because the inter-group phase
+// operates on 1/m shards. Groups must share one size; callers with uneven
+// (fault-degraded) groups re-route to a flat schedule instead.
+func HierarchicalAllReduce(groups [][]int32, volume int64) Schedule {
+	const name = "hier-allreduce"
+	g := len(groups)
+	if g == 0 {
+		return Schedule{Name: name}
+	}
+	m := len(groups[0])
+	all := make([]int32, 0, g*m)
+	for _, grp := range groups {
+		if len(grp) != m {
+			return Schedule{Name: name} // uneven groups: caller must re-route
+		}
+		all = append(all, grp...)
+	}
+	if g*m < 2 {
+		return Schedule{Name: name}
+	}
+	var steps []Step
+
+	// Intra-group ring: reduce-scatter down to 1/m shards. All groups run
+	// their (disjoint) rings inside the same dependent steps.
+	intraChunk := (volume + int64(m) - 1) / int64(m)
+	intra := identityMap(all)
+	for _, grp := range groups {
+		for i, c := range grp {
+			intra[c] = grp[(i+1)%m]
+		}
+	}
+	if m > 1 {
+		for k := 0; k < m-1; k++ {
+			steps = append(steps, Step{
+				Pattern:      traffic.Permutation{Map: intra, Desc: "hier-intra-ring"},
+				Flits:        intraChunk,
+				Participants: all,
+			})
+		}
+	}
+
+	// Inter-group ring AllReduce: slot i of every group forms a ring across
+	// the groups, reducing its 1/m shard — m disjoint rings of length G in
+	// each step.
+	if g > 1 {
+		interChunk := (volume + int64(m)*int64(g) - 1) / (int64(m) * int64(g))
+		inter := identityMap(all)
+		for gi, grp := range groups {
+			next := groups[(gi+1)%g]
+			for i, c := range grp {
+				inter[c] = next[i]
+			}
+		}
+		for k := 0; k < 2*(g-1); k++ {
+			steps = append(steps, Step{
+				Pattern:      traffic.Permutation{Map: inter, Desc: "hier-inter-ring"},
+				Flits:        interChunk,
+				Participants: all,
+			})
+		}
+	}
+
+	// Intra-group all-gather: the reduced shards circulate back.
+	if m > 1 {
+		for k := 0; k < m-1; k++ {
+			steps = append(steps, Step{
+				Pattern:      traffic.Permutation{Map: intra, Desc: "hier-intra-ring"},
+				Flits:        intraChunk,
+				Participants: all,
+			})
+		}
+	}
+	return Schedule{Name: name, Steps: steps}
 }
 
 // BidirRingAllReduce halves the step count by sending both directions
@@ -56,8 +226,9 @@ func BidirRingAllReduce(order []int32, volume int64) Schedule {
 	steps := make([]Step, 0, n-1)
 	for i := int64(0); i < n-1; i++ {
 		steps = append(steps, Step{
-			Pattern: traffic.NewRingOrder(order, true),
-			Flits:   2 * chunk, // both directions together
+			Pattern:      traffic.NewRingOrder(order, true),
+			Flits:        2 * chunk, // both directions together
+			Participants: order,
 		})
 	}
 	return Schedule{Name: "bidir-ring-allreduce", Steps: steps}
@@ -68,25 +239,38 @@ func BidirRingAllReduce(order []int32, volume int64) Schedule {
 // all-gather along rows, then along columns — 2(cols−1) + 2(rows−1) steps
 // instead of 2(rows·cols−1).
 func TwoDAllReduce(rows, cols int, volume int64) Schedule {
+	order := make([]int32, rows*cols)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	return TwoDAllReduceOrder(order, rows, cols, volume)
+}
+
+// TwoDAllReduceOrder is TwoDAllReduce over an explicit participant list
+// laid out as a logical rows×cols grid (participant index r*cols + c sits
+// at grid position (r, c)). A fault-degraded system re-routes by passing
+// its alive chips here with a re-factored grid shape.
+func TwoDAllReduceOrder(order []int32, rows, cols int, volume int64) Schedule {
 	var steps []Step
 	n := int64(rows * cols)
-	if n < 2 {
+	if n < 2 || int(n) != len(order) {
 		return Schedule{Name: "2d-allreduce"}
 	}
 	// Row phase: independent rings inside each row run concurrently; one
 	// Step covers all rows because the patterns are disjoint.
 	if cols > 1 {
 		rowChunk := (volume + int64(cols) - 1) / int64(cols)
-		perm := make([]int32, rows*cols)
+		perm := identityMap(order)
 		for r := 0; r < rows; r++ {
 			for c := 0; c < cols; c++ {
-				perm[r*cols+c] = int32(r*cols + (c+1)%cols)
+				perm[order[r*cols+c]] = order[r*cols+(c+1)%cols]
 			}
 		}
 		for i := 0; i < 2*(cols-1); i++ {
 			steps = append(steps, Step{
-				Pattern: traffic.Permutation{Map: perm, Desc: "row-ring"},
-				Flits:   rowChunk,
+				Pattern:      traffic.Permutation{Map: perm, Desc: "row-ring"},
+				Flits:        rowChunk,
+				Participants: order,
 			})
 		}
 	}
@@ -94,16 +278,17 @@ func TwoDAllReduce(rows, cols int, volume int64) Schedule {
 	// the columns.
 	if rows > 1 {
 		colChunk := (volume + n - 1) / n
-		perm := make([]int32, rows*cols)
+		perm := identityMap(order)
 		for r := 0; r < rows; r++ {
 			for c := 0; c < cols; c++ {
-				perm[r*cols+c] = int32(((r+1)%rows)*cols + c)
+				perm[order[r*cols+c]] = order[((r+1)%rows)*cols+c]
 			}
 		}
 		for i := 0; i < 2*(rows-1); i++ {
 			steps = append(steps, Step{
-				Pattern: traffic.Permutation{Map: perm, Desc: "col-ring"},
-				Flits:   colChunk,
+				Pattern:      traffic.Permutation{Map: perm, Desc: "col-ring"},
+				Flits:        colChunk,
+				Participants: order,
 			})
 		}
 	}
@@ -131,37 +316,60 @@ type Result struct {
 
 // Run executes the schedule on the network: each step's volume is injected
 // (as packetSize-flit packets) and fully drained before the next step
-// starts, modelling the data dependency between collective steps.
+// starts, modelling the data dependency between collective steps. Each step
+// runs to its exact completion cycle via netsim.RunUntil — the barrier sits
+// where the last packet lands, not at the next multiple of some polling
+// batch — so StepCycles and Cycles are precise makespans.
 // maxCyclesPerStep bounds each step (0 = 1<<20).
+//
+// Per-chip volumes follow the network's surviving injector counts (a chip
+// that lost cores splits its volume across fewer nodes), and only the
+// step's Participants are charged, so schedules re-routed around dead
+// chips drain exactly.
 func Run(net *netsim.Network, s Schedule, packetSize int32, maxCyclesPerStep int64) (Result, error) {
 	if maxCyclesPerStep <= 0 {
 		maxCyclesPerStep = 1 << 20
 	}
-	chips := net.NumChips()
-	nodes := len(net.ChipNodes[0])
+	counts := make([]int, net.NumChips())
+	for c := range counts {
+		counts[c] = len(net.ChipNodes[c])
+	}
 	var res Result
 	startDelivered := net.Snapshot().DeliveredPkts
 	for i, step := range s.Steps {
-		vol := traffic.NewVolume(step.Pattern, step.Flits, packetSize, chips, nodes)
+		vol := traffic.NewVolumePerChip(step.Pattern, step.Flits, packetSize, counts, step.Participants)
 		net.SetTraffic(vol, packetSize, netsim.DstSameIndex)
-		stepStart := net.Cycle
-		for {
-			if err := net.Run(64); err != nil {
-				return res, fmt.Errorf("collective %s step %d: %w", s.Name, i, err)
-			}
-			if vol.Done() && net.InFlight() == 0 {
-				break
-			}
-			if net.Cycle-stepStart > maxCyclesPerStep {
-				return res, fmt.Errorf("collective %s step %d exceeded %d cycles",
-					s.Name, i, maxCyclesPerStep)
-			}
+		// InFlight first: it is O(shards), while Done scans the per-node
+		// volume table — with the conjunction this way the scan only runs on
+		// cycles where the network has actually drained.
+		ran, err := net.RunUntil(func(n *netsim.Network) bool {
+			return n.InFlight() == 0 && vol.Done()
+		}, maxCyclesPerStep)
+		if err != nil {
+			return res, fmt.Errorf("collective %s step %d: %w", s.Name, i, err)
 		}
-		res.StepCycles = append(res.StepCycles, net.Cycle-stepStart)
-		res.Cycles += net.Cycle - stepStart
+		res.StepCycles = append(res.StepCycles, ran)
+		res.Cycles += ran
 	}
 	res.Packets = net.Snapshot().DeliveredPkts - startDelivered
 	return res, nil
+}
+
+// FilterOrder returns order restricted to the chips alive reports true
+// for, preserving sequence — the re-routing primitive for running ring
+// schedules on fault-degraded networks (the ring simply closes over the
+// survivors). A nil alive returns order unchanged.
+func FilterOrder(order []int32, alive func(int32) bool) []int32 {
+	if alive == nil {
+		return order
+	}
+	out := make([]int32, 0, len(order))
+	for _, c := range order {
+		if alive(c) {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // SnakeOrder returns the boustrophedon chip order for a rows×cols grid,

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"sldf/internal/campaign"
+	"sldf/internal/collective"
+	"sldf/internal/metrics"
+	"sldf/internal/netsim"
+)
+
+// This file promotes collective-communication measurements (paper Fig. 4's
+// latency argument) to a first-class experiment family of the campaign
+// pipeline: a declarative CollectiveSpec executed by a registered job kind,
+// so collective makespans get the same content-addressed caching, local
+// fan-out and remote sharding as sweep load points — instead of the
+// CLI-only corner they used to live in.
+
+// CollectiveJobKind is the registered executor for declarative collective
+// makespan jobs. Versioned like core/point@v1: an incompatible spec change
+// registers a new kind rather than reinterpreting shipped payloads.
+const CollectiveJobKind = "collective/makespan@v1"
+
+// DefaultCollectivePacket is the packet size collective jobs use when the
+// spec leaves PacketSize zero (paper Table IV default).
+const DefaultCollectivePacket = 4
+
+// CollectiveSpec is the declarative description of one collective
+// execution: a schedule resolved against a system, run step-by-step to its
+// exact makespan. Pure data, so it ships to worker daemons unchanged.
+type CollectiveSpec struct {
+	Cfg Config `json:"cfg"`
+	// Schedule is a CollectiveSchedules name ("ring", "2d", "hierarchical",
+	// ...), resolved against the built system by ScheduleFor.
+	Schedule string `json:"schedule"`
+	// Volume is the AllReduce payload per chip in flits.
+	Volume int64 `json:"volume"`
+	// PacketSize is the packet length in flits (0 = DefaultCollectivePacket).
+	PacketSize int32 `json:"packet,omitempty"`
+	// MaxStepCycles bounds each dependent step (0 = collective.Run default).
+	MaxStepCycles int64 `json:"max_step_cycles,omitempty"`
+	// Engine selects the cycle engine; both measure identical makespans and
+	// the non-default engine gets its own cache slot (a reference cross-check
+	// must simulate, not replay the active-set result).
+	Engine netsim.EngineKind `json:"engine,omitempty"`
+}
+
+func init() {
+	campaign.RegisterExecutor(CollectiveJobKind, runCollectiveJob)
+}
+
+// runCollectiveJob executes one CollectiveSpec on a campaign worker,
+// reusing the worker's built system across jobs that share a configuration.
+func runCollectiveJob(w *campaign.Worker, payload json.RawMessage) (metrics.Point, error) {
+	var cs CollectiveSpec
+	if err := json.Unmarshal(payload, &cs); err != nil {
+		return metrics.Point{}, fmt.Errorf("core: decode collective spec: %w", err)
+	}
+	sys, err := workerSystem(w, cs.Cfg.cacheID(), cs.Cfg)
+	if err != nil {
+		return metrics.Point{}, err
+	}
+	return sys.MeasureCollective(cs)
+}
+
+// collectiveKey is the content address of one collective job; like
+// pointKey it covers every result-affecting input, and a non-default
+// engine gets a distinct slot.
+func collectiveKey(cs CollectiveSpec) string {
+	key := fmt.Sprintf("%s|collective=%s|vol=%d|pkt=%d|maxstep=%d",
+		cs.Cfg.cacheID(), cs.Schedule, cs.Volume, cs.packet(), cs.MaxStepCycles)
+	if cs.Engine != netsim.EngineActiveSet {
+		key += "|engine=" + cs.Engine.String()
+	}
+	return key
+}
+
+func (cs CollectiveSpec) packet() int32 {
+	if cs.PacketSize <= 0 {
+		return DefaultCollectivePacket
+	}
+	return cs.PacketSize
+}
+
+// CollectiveJob builds the declarative job spec for one collective
+// execution, shareable between the local pool, stores and worker daemons.
+func CollectiveJob(cs CollectiveSpec) (campaign.JobSpec, error) {
+	payload, err := json.Marshal(cs)
+	if err != nil {
+		return campaign.JobSpec{}, fmt.Errorf("core: encode collective spec: %w", err)
+	}
+	return campaign.JobSpec{
+		Key:     collectiveKey(cs),
+		Kind:    CollectiveJobKind,
+		Payload: payload,
+	}, nil
+}
+
+// CollectiveSchedules lists the schedule names ScheduleFor resolves, in
+// presentation order.
+func CollectiveSchedules() []string {
+	return []string{"ring", "bidir-ring", "reduce-scatter", "all-gather",
+		"2d", "all-to-all", "hierarchical"}
+}
+
+// ScheduleFor resolves a named schedule against a built system. Rings run
+// over the system's natural chip order (the snake on a mesh C-group, chip
+// ID order elsewhere); the 2D algorithm factors the participants into a
+// near-square logical grid; the hierarchical schedule groups chips by
+// W-group (or, on single-group systems, by C-group / switch / grid row).
+//
+// On fault-degraded builds dead chips are excluded and the schedule
+// re-routes over the survivors (rings close over them, grids re-factor);
+// hierarchical falls back to the flat ring when faults leave the groups
+// uneven. When fewer than two participants survive there is nothing to
+// run and the error wraps collective.ErrPartitioned.
+func ScheduleFor(s *System, name string, volume int64) (collective.Schedule, error) {
+	alive := s.chipAlive()
+	order := collective.FilterOrder(s.collectiveOrder(), alive)
+	if len(order) < 2 {
+		return collective.Schedule{}, fmt.Errorf("core: %s on %s: %d of %d chips alive: %w",
+			name, s.Label, len(order), s.Chips, collective.ErrPartitioned)
+	}
+	switch name {
+	case "ring":
+		return collective.RingAllReduce(order, volume), nil
+	case "bidir-ring":
+		return collective.BidirRingAllReduce(order, volume), nil
+	case "reduce-scatter":
+		return collective.ReduceScatter(order, volume), nil
+	case "all-gather":
+		return collective.AllGather(order, volume), nil
+	case "all-to-all":
+		return collective.AllToAll(order, volume), nil
+	case "2d":
+		rows, cols := gridShape(len(order))
+		return collective.TwoDAllReduceOrder(order, rows, cols, volume), nil
+	case "hierarchical":
+		groups := s.collectiveGroups(alive)
+		for _, g := range groups[1:] {
+			if len(g) != len(groups[0]) {
+				// Faults left the groups uneven; the aligned-slot inter-group
+				// rings no longer exist, so re-route to the flat ring.
+				return collective.RingAllReduce(order, volume), nil
+			}
+		}
+		return collective.HierarchicalAllReduce(groups, volume), nil
+	default:
+		return collective.Schedule{}, fmt.Errorf("core: unknown collective schedule %q (want %v)",
+			name, CollectiveSchedules())
+	}
+}
+
+// chipAlive returns the liveness predicate, or nil on pristine builds.
+func (s *System) chipAlive() func(int32) bool {
+	if s.aliveChips == nil {
+		return nil
+	}
+	return func(c int32) bool { return s.aliveChips[c] }
+}
+
+// collectiveOrder is the system's natural ring embedding: the snake order
+// on a mesh C-group (physically adjacent successors), ascending chip IDs
+// elsewhere (IDs already walk C-groups and W-groups consecutively).
+func (s *System) collectiveOrder() []int32 {
+	if s.Cfg.Kind == MeshCGroup {
+		return collective.SnakeOrder(s.Cfg.ChipletDim, s.Cfg.ChipletDim)
+	}
+	order := make([]int32, s.Chips)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	return order
+}
+
+// collectiveGroups partitions the alive chips for the hierarchical
+// schedule: by W-group on multi-group systems, otherwise by the natural
+// sub-block (C-group on the switch-less system, switch on the Dragonfly,
+// grid row on a mesh, near-square blocks on a single switch). Empty groups
+// are dropped.
+func (s *System) collectiveGroups(alive func(int32) bool) [][]int32 {
+	size := 0
+	switch {
+	case s.Groups > 1:
+		size = s.ChipsPerGroup
+	case s.Cfg.Kind == SwitchlessDragonfly:
+		size = s.Cfg.SLDF.ChipCols * s.Cfg.SLDF.ChipRows
+	case s.Cfg.Kind == SwitchDragonfly:
+		size = s.Cfg.DF.P
+	case s.Cfg.Kind == MeshCGroup:
+		size = s.Cfg.ChipletDim
+	default:
+		_, size = gridShape(s.Chips)
+	}
+	if size < 1 {
+		size = 1
+	}
+	var groups [][]int32
+	for base := 0; base < s.Chips; base += size {
+		var g []int32
+		hi := base + size
+		if hi > s.Chips {
+			hi = s.Chips
+		}
+		for c := base; c < hi; c++ {
+			if alive == nil || alive(int32(c)) {
+				g = append(g, int32(c))
+			}
+		}
+		if len(g) > 0 {
+			groups = append(groups, g)
+		}
+	}
+	return groups
+}
+
+// gridShape factors n into the most square rows×cols grid (rows <= cols).
+// Primes degenerate to 1×n, which reduces the 2D schedule to a flat ring —
+// still a valid re-route.
+func gridShape(n int) (rows, cols int) {
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			rows = d
+		}
+	}
+	if rows == 0 {
+		rows = 1
+	}
+	return rows, n / rows
+}
+
+// MeasureCollective resolves and runs one collective schedule on the
+// system, returning its result encoded as a campaign point:
+//
+//	Rate       = offered volume (flits/chip)
+//	Latency    = exact end-to-end makespan (cycles)
+//	P50 / P99  = median / maximum step makespan
+//	Throughput = delivered flits/cycle/chip over the makespan
+//	Aux        = [delivered packets, step 0 cycles, step 1 cycles, ...]
+//
+// Cycle counts are integers carried exactly in float64, so the encoding
+// round-trips bit-identically through JSON stores and the wire protocol.
+func (s *System) MeasureCollective(cs CollectiveSpec) (metrics.Point, error) {
+	s.Net.SetEngine(cs.Engine)
+	sch, err := ScheduleFor(s, cs.Schedule, cs.Volume)
+	if err != nil {
+		return metrics.Point{}, err
+	}
+	res, err := collective.Run(s.Net, sch, cs.packet(), cs.MaxStepCycles)
+	if err != nil {
+		return metrics.Point{}, fmt.Errorf("%s/%s: %w", s.Label, cs.Schedule, err)
+	}
+	pt := metrics.Point{Rate: float64(cs.Volume)}
+	pt.Latency = float64(res.Cycles)
+	if res.Cycles > 0 {
+		pt.Throughput = float64(res.Packets) * float64(cs.packet()) /
+			float64(res.Cycles) / float64(s.Chips)
+	}
+	if n := len(res.StepCycles); n > 0 {
+		sorted := append([]int64(nil), res.StepCycles...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		pt.P50 = float64(sorted[n/2])
+		pt.P99 = float64(sorted[n-1])
+	}
+	pt.Aux = make([]float64, 0, 1+len(res.StepCycles))
+	pt.Aux = append(pt.Aux, float64(res.Packets))
+	for _, c := range res.StepCycles {
+		pt.Aux = append(pt.Aux, float64(c))
+	}
+	return pt, nil
+}
+
+// CollectiveRowFromPoint decodes a collective job's point back into the
+// row the figure renders, labelled with the case's system and schedule.
+func CollectiveRowFromPoint(system, schedule string, pt metrics.Point) metrics.CollectiveRow {
+	row := metrics.CollectiveRow{
+		System:     system,
+		Schedule:   schedule,
+		Cycles:     int64(pt.Latency),
+		Efficiency: pt.Throughput,
+	}
+	if len(pt.Aux) > 0 {
+		row.Packets = int64(pt.Aux[0])
+		row.StepCycles = make([]int64, 0, len(pt.Aux)-1)
+		for _, c := range pt.Aux[1:] {
+			row.StepCycles = append(row.StepCycles, int64(c))
+		}
+	}
+	row.Steps = len(row.StepCycles)
+	return row
+}
+
+// CollectiveCaseSpec is one row of a collective figure: a schedule on a
+// system at a volume.
+type CollectiveCaseSpec struct {
+	Cfg      Config
+	Schedule string
+	// Label overrides the config-derived system label when non-empty.
+	Label         string
+	Volume        int64
+	PacketSize    int32
+	MaxStepCycles int64
+	Engine        netsim.EngineKind
+}
+
+// Spec lowers the case to its declarative job description.
+func (c CollectiveCaseSpec) Spec() CollectiveSpec {
+	return CollectiveSpec{Cfg: c.Cfg, Schedule: c.Schedule, Volume: c.Volume,
+		PacketSize: c.PacketSize, MaxStepCycles: c.MaxStepCycles, Engine: c.Engine}
+}
+
+// CollectiveFigureSpec is one collective-makespan panel: a named list of
+// cases.
+type CollectiveFigureSpec struct {
+	Name, Title string
+	Cases       []CollectiveCaseSpec
+}
+
+// RunCollectiveFigure measures every case of a collective panel through
+// the Backend seam: cases become content-addressed job specs executed by
+// the local pool or a worker fleet, satisfied from the store when present,
+// and merged by case index — byte-identical however they run.
+func RunCollectiveFigure(fs CollectiveFigureSpec, opts RunOptions) (metrics.CollectiveFigure, error) {
+	fig := metrics.CollectiveFigure{Name: fs.Name, Title: fs.Title}
+	specs := make([]campaign.JobSpec, len(fs.Cases))
+	for i, c := range fs.Cases {
+		spec, err := CollectiveJob(c.Spec())
+		if err != nil {
+			return fig, fmt.Errorf("%s: %w", fs.Name, err)
+		}
+		specs[i] = spec
+	}
+	backend := opts.Backend
+	if backend == nil {
+		backend = campaign.LocalBackend{}
+	}
+	pts, err := backend.Execute(specs, campaign.ExecOptions{Jobs: opts.Jobs, Store: opts.Store})
+	if err != nil {
+		return fig, fmt.Errorf("%s: %w", fs.Name, err)
+	}
+	fig.Rows = make([]metrics.CollectiveRow, len(fs.Cases))
+	for i, c := range fs.Cases {
+		label := c.Label
+		if label == "" {
+			label = c.Cfg.Label()
+		}
+		fig.Rows[i] = CollectiveRowFromPoint(label, c.Schedule, pts[i])
+	}
+	return fig, nil
+}

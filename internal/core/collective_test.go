@@ -1,0 +1,282 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"sldf/internal/campaign"
+	"sldf/internal/campaign/remote"
+	"sldf/internal/collective"
+	"sldf/internal/metrics"
+	"sldf/internal/netsim"
+	"sldf/internal/topology"
+)
+
+// collectiveKinds is one small configuration per system kind, the coverage
+// the collective experiment family promises.
+func collectiveKinds() []struct {
+	name string
+	cfg  Config
+} {
+	swb := Config{Kind: SwitchDragonfly, DF: Radix16DF(), Seed: 7, Workers: 1}
+	swb.DF.G = 1
+	swl := Config{Kind: SwitchlessDragonfly, SLDF: Radix16SLDF(), Seed: 7, Workers: 1}
+	swl.SLDF.G = 1
+	return []struct {
+		name string
+		cfg  Config
+	}{
+		{"switch", Config{Kind: SingleSwitch, Terminals: 4, Seed: 7, Workers: 1}},
+		{"mesh", Config{Kind: MeshCGroup, ChipletDim: 2, NoCDim: 2, Seed: 7, Workers: 1}},
+		{"sw-based", swb},
+		{"sw-less", swl},
+	}
+}
+
+// TestCollectiveEngineEquivalence is the acceptance criterion for the new
+// drain path: on every system kind, the active-set engine and the full-scan
+// reference engine measure identical makespans (every step cycle, packet
+// count and derived column) for every schedule in the library.
+func TestCollectiveEngineEquivalence(t *testing.T) {
+	for _, k := range collectiveKinds() {
+		for _, sch := range CollectiveSchedules() {
+			t.Run(k.name+"/"+sch, func(t *testing.T) {
+				measure := func(eng netsim.EngineKind) metrics.Point {
+					sys, err := Build(k.cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer sys.Close()
+					pt, err := sys.MeasureCollective(CollectiveSpec{
+						Cfg: k.cfg, Schedule: sch, Volume: 96, Engine: eng})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return pt
+				}
+				act := measure(netsim.EngineActiveSet)
+				ref := measure(netsim.EngineReference)
+				if !reflect.DeepEqual(act, ref) {
+					t.Fatalf("engines diverged:\nactive:    %+v\nreference: %+v", act, ref)
+				}
+				if act.Latency <= 0 || len(act.Aux) < 2 {
+					t.Fatalf("vacuous measurement %+v", act)
+				}
+			})
+		}
+	}
+}
+
+// TestCollectiveSerialCachedRemoteByteIdentical is the pipeline acceptance
+// criterion: the same collective panel measured serially, replayed from a
+// cold disk cache, and sharded across an emulated 2-worker cluster renders
+// byte-identical CSV.
+func TestCollectiveSerialCachedRemoteByteIdentical(t *testing.T) {
+	var spec CollectiveFigureSpec
+	spec.Name = "eq"
+	for _, k := range collectiveKinds() {
+		for _, sch := range []string{"ring", "2d", "hierarchical"} {
+			spec.Cases = append(spec.Cases, CollectiveCaseSpec{
+				Cfg: k.cfg, Schedule: sch, Label: k.name, Volume: 96})
+		}
+	}
+
+	serial, err := RunCollectiveFigure(spec, RunOptions{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serial.CSV()
+
+	// Cold cache fill, then a replay that must not re-simulate.
+	cache, err := campaign.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	filled, err := RunCollectiveFigure(spec, RunOptions{Jobs: 4, Store: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := filled.CSV(); got != want {
+		t.Fatalf("parallel cache-fill diverged:\n%s\nvs\n%s", got, want)
+	}
+	replay, err := RunCollectiveFigure(spec, RunOptions{Jobs: 1, Store: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := replay.CSV(); got != want {
+		t.Fatalf("cache replay diverged:\n%s\nvs\n%s", got, want)
+	}
+	if cache.Hits() != int64(len(spec.Cases)) {
+		t.Fatalf("replay hit the cache %d times, want %d", cache.Hits(), len(spec.Cases))
+	}
+
+	backend, err := remote.New(remoteCluster(t, 2), remote.Options{BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := RunCollectiveFigure(spec, RunOptions{Jobs: 4, Backend: backend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dist.CSV(); got != want {
+		t.Fatalf("2-worker remote run diverged:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestCollectiveSpecJSONRoundTrip guards the wire format: a spec survives
+// JSON exactly and its job key covers schedule, volume, packet and engine.
+func TestCollectiveSpecJSONRoundTrip(t *testing.T) {
+	cs := CollectiveSpec{Cfg: collectiveKinds()[1].cfg, Schedule: "hierarchical",
+		Volume: 12345, PacketSize: 8, MaxStepCycles: 999, Engine: netsim.EngineReference}
+	data, err := json.Marshal(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CollectiveSpec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cs, back) {
+		t.Fatalf("round trip changed the spec: %+v vs %+v", cs, back)
+	}
+	base, _ := CollectiveJob(cs)
+	for _, mut := range []func(*CollectiveSpec){
+		func(s *CollectiveSpec) { s.Schedule = "ring" },
+		func(s *CollectiveSpec) { s.Volume = 54321 },
+		func(s *CollectiveSpec) { s.PacketSize = 4 },
+		func(s *CollectiveSpec) { s.MaxStepCycles = 0 },
+		func(s *CollectiveSpec) { s.Engine = netsim.EngineActiveSet },
+	} {
+		m := cs
+		mut(&m)
+		spec, err := CollectiveJob(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Key == base.Key {
+			t.Fatalf("mutated spec %+v shares the content address %q", m, base.Key)
+		}
+	}
+}
+
+// TestCollectiveFaultedReroutes proves the fault contract: schedules on a
+// degraded build re-route over the surviving chips and still drain to
+// completion, with fewer participants than the pristine run.
+func TestCollectiveFaultedReroutes(t *testing.T) {
+	cfg := Config{Kind: SwitchlessDragonfly, SLDF: Radix16SLDF(), Seed: 7, Workers: 1}
+	cfg.SLDF.G = 1
+	// Seed 6 at these fractions deterministically kills a chip, so the
+	// re-route path (not just the pristine-order fast path) is exercised.
+	cfg.Faults = topology.FaultSpec{Seed: 6, LinkFraction: 0.08, RouterFraction: 0.08}
+	sys, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if len(sys.DeadChips()) == 0 {
+		t.Fatal("fault draw killed no chip; the re-route path is untested")
+	}
+	for _, sch := range CollectiveSchedules() {
+		s, err := ScheduleFor(sys, sch, 96)
+		if err != nil {
+			t.Fatalf("%s: %v", sch, err)
+		}
+		for _, st := range s.Steps {
+			for _, c := range st.Participants {
+				if !sys.Net.ChipAlive(c) {
+					t.Fatalf("%s schedules dead chip %d", sch, c)
+				}
+			}
+		}
+		sys.Reset()
+		pt, err := sys.MeasureCollective(CollectiveSpec{Cfg: cfg, Schedule: sch, Volume: 96})
+		if err != nil {
+			t.Fatalf("%s on faulted build: %v", sch, err)
+		}
+		if pt.Latency <= 0 {
+			t.Fatalf("%s: empty measurement %+v", sch, pt)
+		}
+	}
+}
+
+// TestCollectivePartitioned: fewer than two alive participants must
+// surface collective.ErrPartitioned, not hang or measure nothing.
+func TestCollectivePartitioned(t *testing.T) {
+	sys, err := Build(Config{Kind: MeshCGroup, ChipletDim: 2, NoCDim: 2, Seed: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	sys.aliveChips = []bool{true, false, false, false}
+	_, err = ScheduleFor(sys, "ring", 64)
+	if !errors.Is(err, collective.ErrPartitioned) {
+		t.Fatalf("got %v, want ErrPartitioned", err)
+	}
+}
+
+// TestCollectiveUnknownSchedule pins the error path a bad -schedules flag
+// or a stale shipped spec hits.
+func TestCollectiveUnknownSchedule(t *testing.T) {
+	sys, err := Build(Config{Kind: MeshCGroup, ChipletDim: 2, NoCDim: 2, Seed: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if _, err := ScheduleFor(sys, "nope", 64); err == nil {
+		t.Fatal("unknown schedule accepted")
+	}
+}
+
+// TestGoldenCollective locks the exact post-barrier-fix makespans for every
+// system kind into a committed fixture: per-step cycles, totals and packet
+// counts. Regenerate deliberately with
+//
+//	go test ./internal/core -run TestGoldenCollective -update
+func TestGoldenCollective(t *testing.T) {
+	type entry struct {
+		System string                  `json:"system"`
+		Rows   []metrics.CollectiveRow `json:"rows"`
+	}
+	var got []entry
+	for _, k := range collectiveKinds() {
+		e := entry{System: k.name}
+		for _, sch := range []string{"ring", "2d", "hierarchical"} {
+			sys, err := Build(k.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pt, err := sys.MeasureCollective(CollectiveSpec{Cfg: k.cfg, Schedule: sch, Volume: 128})
+			sys.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Rows = append(e.Rows, CollectiveRowFromPoint(k.name, sch, pt))
+		}
+		got = append(got, e)
+	}
+	data, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	path := filepath.Join("testdata", "golden_collective.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read fixture (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("collective makespans diverged from the committed fixture\ngot:\n%s\nwant:\n%s",
+			data, want)
+	}
+}

@@ -89,7 +89,7 @@ func TestEngineEquivalence(t *testing.T) {
 					if !reflect.DeepEqual(ref.Stats, act.Stats) {
 						t.Fatalf("stats diverged:\nreference: %+v\nactive:    %+v", ref.Stats, act.Stats)
 					}
-					if ref.Point != act.Point {
+					if !reflect.DeepEqual(ref.Point, act.Point) {
 						t.Fatalf("points diverged: %+v vs %+v", ref.Point, act.Point)
 					}
 					if ref.Utilization != act.Utilization {

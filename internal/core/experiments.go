@@ -3,6 +3,7 @@ package core
 import (
 	"sldf/internal/metrics"
 	"sldf/internal/routing"
+	"sldf/internal/topology"
 )
 
 // This file declares the paper's evaluation as registry data: each figure
@@ -107,6 +108,9 @@ func init() {
 	RegisterExperiment(ExperimentSpec{Name: "15",
 		Title: "Fig. 15 — average energy per transmission (Sec. V-C pricing)",
 		Plan:  planFig15})
+	RegisterExperiment(ExperimentSpec{Name: "collective",
+		Title: "Fig. 4 — collective makespans: ring vs 2D vs hierarchical AllReduce and primitives",
+		Plan:  planCollective})
 }
 
 // planFig10 reproduces Fig. 10: (a,b) intra-C-group switch vs 2D-mesh under
@@ -314,6 +318,64 @@ func planFig15(scale Scale) ExperimentPlan {
 			Config{Kind: SwitchDragonfly, DF: dfL, Seed: seed},
 			Config{Kind: SwitchlessDragonfly, SLDF: slL, Seed: seed}),
 	}}
+}
+
+// planCollective measures collective schedules end to end (paper Fig. 4's
+// latency argument as exact makespans, not steady-state rates): every
+// schedule of the library on each of the four system kinds, plus a
+// multi-W-group panel where the hierarchical two-level schedule's
+// O(m + G) dependent steps beat the flat ring's O(mG).
+func planCollective(scale Scale) ExperimentPlan {
+	volume := int64(256)
+	if scale == ScalePaper {
+		volume = 4096
+	}
+	kinds := []Config{
+		{Kind: SingleSwitch, Terminals: 16, Seed: seed},
+		{Kind: MeshCGroup, ChipletDim: 4, NoCDim: 2, Seed: seed},
+	}
+	swb, swl, _ := radix16Trio(true)
+	kinds = append(kinds, swb, swl)
+	main := CollectiveFigureSpec{Name: "figcollective",
+		Title: "Collective makespans (single group / W-group)"}
+	for _, cfg := range kinds {
+		for _, sch := range CollectiveSchedules() {
+			main.Cases = append(main.Cases, CollectiveCaseSpec{
+				Cfg: cfg, Schedule: sch, Volume: volume})
+		}
+	}
+
+	// Across W-groups: tiny balanced 3-W-group systems at quick scale; the
+	// full radix-16 network (41 W-groups, 1312 chips) at paper scale, where
+	// the flat ring's 2(N−1) dependent steps are exactly the pathology the
+	// hierarchical schedule removes — and too slow to simulate, so only the
+	// sub-linear schedules run there.
+	wg := CollectiveFigureSpec{Name: "figcollectivewg",
+		Title: "Collective makespans across W-groups"}
+	if scale == ScalePaper {
+		swbFull, swlFull, _ := radix16Trio(false)
+		for _, cfg := range []Config{swbFull, swlFull} {
+			for _, sch := range []string{"hierarchical", "2d"} {
+				wg.Cases = append(wg.Cases, CollectiveCaseSpec{
+					Cfg: cfg, Schedule: sch, Volume: volume})
+			}
+		}
+	} else {
+		swbTiny := Config{Kind: SwitchDragonfly,
+			DF: topology.DragonflyParams{P: 2, A: 2, H: 1}, Seed: seed}
+		swlTiny := Config{Kind: SwitchlessDragonfly,
+			SLDF: topology.SLDFParams{NoCDim: 2, ChipCols: 2, ChipRows: 1, AB: 2, H: 1}, Seed: seed}
+		for _, c := range []struct {
+			cfg   Config
+			label string
+		}{{swbTiny, "sw-based-3wg"}, {swlTiny, "sw-less-3wg"}} {
+			for _, sch := range []string{"ring", "hierarchical", "2d"} {
+				wg.Cases = append(wg.Cases, CollectiveCaseSpec{
+					Cfg: c.cfg, Schedule: sch, Label: c.label, Volume: volume})
+			}
+		}
+	}
+	return ExperimentPlan{Collectives: []CollectiveFigureSpec{main, wg}}
 }
 
 // planResilience is the degraded-topology experiment (no counterpart in the

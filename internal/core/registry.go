@@ -72,9 +72,10 @@ type ResilienceFigureSpec struct {
 // ExperimentPlan is the scale-resolved grid of one experiment. Exactly the
 // spec kinds present are executed; an experiment usually has one kind.
 type ExperimentPlan struct {
-	Figures    []FigureSpec
-	Energy     []EnergyFigureSpec
-	Resilience []ResilienceFigureSpec
+	Figures     []FigureSpec
+	Energy      []EnergyFigureSpec
+	Resilience  []ResilienceFigureSpec
+	Collectives []CollectiveFigureSpec
 }
 
 // ExperimentSpec is one registered experiment: a name, and the plan it
@@ -134,10 +135,11 @@ func LookupExperiment(name string) (ExperimentSpec, bool) {
 }
 
 // ExperimentResult is the output of one experiment run: latency/resilience
-// figures and/or energy panels.
+// figures, energy panels and/or collective-makespan panels.
 type ExperimentResult struct {
-	Figures []metrics.Figure
-	Energy  []EnergyFigure
+	Figures     []metrics.Figure
+	Energy      []EnergyFigure
+	Collectives []metrics.CollectiveFigure
 }
 
 // RunExperiment executes a registered experiment at the given scale: the
@@ -169,6 +171,13 @@ func RunExperiment(spec ExperimentSpec, scale Scale, opts RunOptions) (Experimen
 			return res, err
 		}
 		res.Figures = append(res.Figures, fig)
+	}
+	for _, cs := range plan.Collectives {
+		fig, err := RunCollectiveFigure(cs, opts)
+		if err != nil {
+			return res, err
+		}
+		res.Collectives = append(res.Collectives, fig)
 	}
 	return res, nil
 }

@@ -134,7 +134,7 @@ func TestResetMatchesFreshBuild(t *testing.T) {
 	if got.Stats.Hops != want.Stats.Hops {
 		t.Fatal("hop counters diverged after reset")
 	}
-	if got.Point != want.Point {
+	if !reflect.DeepEqual(got.Point, want.Point) {
 		t.Fatalf("points diverged after reset: %+v vs %+v", got.Point, want.Point)
 	}
 	if got.Utilization != want.Utilization {

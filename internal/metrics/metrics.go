@@ -9,13 +9,23 @@ import (
 	"strings"
 )
 
-// Point is one measured load point of a sweep.
+// Point is one measured load point of a sweep. It is also the value every
+// campaign store and backend carries, so experiment families whose natural
+// result is not a latency point (collective makespans) encode into it.
 type Point struct {
 	Rate       float64 // offered load, flits/cycle/chip
 	Latency    float64 // mean packet latency, cycles
 	P50        float64
 	P99        float64
 	Throughput float64 // accepted load, flits/cycle/chip
+
+	// Aux carries experiment-family-specific extras through the store and
+	// the coordinator/worker protocol (collective jobs record delivered
+	// packets and per-step makespans here; int64 cycle counts are exact in
+	// float64). Nil for ordinary sweep points — and omitted from JSON, so
+	// cache entries and wire messages for sweeps are byte-identical to
+	// pre-Aux revisions.
+	Aux []float64 `json:",omitempty"`
 }
 
 // Series is one curve: a labelled sequence of load points.
@@ -90,6 +100,44 @@ func (f EnergyFigure) CSV() string {
 	b.WriteString("system,intra_pj_per_bit,inter_pj_per_bit,total_pj_per_bit\n")
 	for _, bar := range f.Bars {
 		fmt.Fprintf(&b, "%s,%.3f,%.3f,%.3f\n", bar.Label, bar.Intra, bar.Inter, bar.Total())
+	}
+	return b.String()
+}
+
+// CollectiveRow is one measured collective execution: a schedule run to
+// completion on a system, with its exact per-step makespans.
+type CollectiveRow struct {
+	System     string  // system label
+	Schedule   string  // schedule name as requested
+	Steps      int     // dependent steps executed
+	Cycles     int64   // end-to-end makespan
+	Packets    int64   // packets delivered
+	Efficiency float64 // delivered flits/cycle/chip over the makespan
+	StepCycles []int64 // exact per-step makespans
+}
+
+// CollectiveFigure is one collective-makespan panel (paper Fig. 4's
+// argument measured end to end).
+type CollectiveFigure struct {
+	Name  string
+	Title string
+	Rows  []CollectiveRow
+}
+
+// CSV renders the panel, one row per (system, schedule) execution. The
+// step_cycles column joins the exact per-step makespans with ';' so the
+// full barrier trace survives the flat format.
+func (f CollectiveFigure) CSV() string {
+	var b strings.Builder
+	b.WriteString("system,schedule,steps,cycles,packets,flits_per_cycle_per_chip,step_cycles\n")
+	for _, r := range f.Rows {
+		steps := make([]string, len(r.StepCycles))
+		for i, c := range r.StepCycles {
+			steps[i] = fmt.Sprintf("%d", c)
+		}
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%.4f,%s\n",
+			r.System, r.Schedule, r.Steps, r.Cycles, r.Packets, r.Efficiency,
+			strings.Join(steps, ";"))
 	}
 	return b.String()
 }

@@ -96,3 +96,18 @@ func TestEnergyFigureCSV(t *testing.T) {
 		t.Fatalf("total %v", tot)
 	}
 }
+
+func TestCollectiveFigureCSV(t *testing.T) {
+	f := CollectiveFigure{Name: "figcollective", Rows: []CollectiveRow{
+		{System: "2d-mesh", Schedule: "ring", Steps: 3, Cycles: 95, Packets: 192,
+			Efficiency: 2.0211, StepCycles: []int64{31, 32, 32}},
+		{System: "switch", Schedule: "hierarchical", Steps: 0, Cycles: 0},
+	}}
+	got := f.CSV()
+	want := "system,schedule,steps,cycles,packets,flits_per_cycle_per_chip,step_cycles\n" +
+		"2d-mesh,ring,3,95,192,2.0211,31;32;32\n" +
+		"switch,hierarchical,0,0,0,0.0000,\n"
+	if got != want {
+		t.Fatalf("CSV:\n%s\nwant:\n%s", got, want)
+	}
+}

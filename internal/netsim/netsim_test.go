@@ -243,6 +243,65 @@ func TestDeadlockWatchdog(t *testing.T) {
 	}
 }
 
+// TestRunUntilExactCompletion pins the run-until-predicate drain: the
+// returned cycle count is exactly the first cycle at which the predicate
+// holds — found by comparing against manual single-Step probing — and an
+// already-true predicate runs zero cycles.
+func TestRunUntilExactCompletion(t *testing.T) {
+	spec := LinkSpec{Delay: 3, Width: 1, Class: HopShortReach, VCs: 1, BufFlits: 32}
+	build := func() *Network {
+		net := buildLine(t, 4, spec, NetworkOptions{Seed: 9, Workers: 1})
+		sent := false
+		net.SetTraffic(GeneratorFunc(func(now int64, src int32, node int, rng *engine.RNG) int32 {
+			if !sent && src == 0 {
+				sent = true
+				return 3
+			}
+			return -1
+		}), 4, DstSameIndex)
+		return net
+	}
+
+	// Reference: step manually until the packet lands.
+	ref := build()
+	defer ref.Close()
+	var want int64
+	for ref.Snapshot().DeliveredPkts == 0 {
+		ref.Step()
+		want++
+	}
+
+	net := build()
+	defer net.Close()
+	ran, err := net.RunUntil(func(n *Network) bool {
+		return n.Snapshot().DeliveredPkts > 0
+	}, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != want || net.Cycle != want {
+		t.Fatalf("RunUntil ran %d cycles (Cycle=%d), manual stepping needed %d", ran, net.Cycle, want)
+	}
+	// The predicate is already true: no further cycles may run.
+	again, err := net.RunUntil(func(n *Network) bool { return n.Snapshot().DeliveredPkts > 0 }, 10_000)
+	if err != nil || again != 0 {
+		t.Fatalf("satisfied predicate ran %d cycles (err %v), want 0", again, err)
+	}
+}
+
+func TestRunUntilCycleLimit(t *testing.T) {
+	spec := LinkSpec{Delay: 1, Width: 1, Class: HopShortReach, VCs: 1, BufFlits: 32}
+	net := buildLine(t, 3, spec, NetworkOptions{Seed: 2, Workers: 1})
+	defer net.Close()
+	ran, err := net.RunUntil(func(*Network) bool { return false }, 25)
+	if ran != 25 {
+		t.Fatalf("ran %d cycles, want the 25-cycle bound", ran)
+	}
+	if !errors.Is(err, ErrCycleLimit) {
+		t.Fatalf("got error %v, want ErrCycleLimit", err)
+	}
+}
+
 func TestDeterminismAcrossWorkers(t *testing.T) {
 	run := func(workers int) Stats {
 		spec := LinkSpec{Delay: 1, Width: 1, Class: HopShortReach, VCs: 1, BufFlits: 32}

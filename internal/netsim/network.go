@@ -367,6 +367,44 @@ func (n *Network) Run(cycles int64) error {
 	return nil
 }
 
+// ErrCycleLimit is returned (wrapped) by RunUntil when the predicate is
+// still false after maxCycles cycles.
+var ErrCycleLimit = errors.New("netsim: cycle limit reached before completion")
+
+// RunUntil advances the simulation one cycle at a time until done reports
+// true, and returns the exact number of cycles advanced. The predicate is
+// evaluated before the first step (an already-satisfied condition runs zero
+// cycles) and again after every Step, so completion is detected at its
+// precise cycle — unlike polling between fixed-size Run batches, which
+// quantizes the observed completion up to the batch length. Both cycle
+// engines are served by the same path (Step dispatches internally), so a
+// makespan measured under the active-set engine is bitwise identical to the
+// full-scan reference.
+//
+// If the predicate is still false after maxCycles cycles, RunUntil returns
+// maxCycles and an error wrapping ErrCycleLimit; if the progress watchdog
+// trips first it returns the cycles run and ErrDeadlock, exactly as Run
+// does. This is the primitive behind step-barriered collective execution
+// (internal/collective) and fixed-volume makespan measurements.
+func (n *Network) RunUntil(done func(*Network) bool, maxCycles int64) (int64, error) {
+	for ran := int64(0); ; ran++ {
+		if done(n) {
+			return ran, nil
+		}
+		if ran >= maxCycles {
+			return ran, fmt.Errorf("%w: predicate still false after %d cycles (%d packets in flight)",
+				ErrCycleLimit, maxCycles, n.InFlight())
+		}
+		n.Step()
+		if n.idleCycles >= n.watchdogLimit {
+			n.watchdogTrips++
+			n.idleCycles = 0
+			return ran + 1, fmt.Errorf("%w: cycle %d, %d packets in flight",
+				ErrDeadlock, n.Cycle, n.InFlight())
+		}
+	}
+}
+
 // Drain runs with traffic generation disabled until all in-flight packets
 // are delivered or maxCycles elapse. It returns the number of cycles run.
 func (n *Network) Drain(maxCycles int64) (int64, error) {

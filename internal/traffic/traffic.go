@@ -141,13 +141,27 @@ func (h Hotspot) Dest(src int32, rng *engine.RNG) int32 {
 	if !hot {
 		return -1
 	}
-	for {
+	// Rejection-sample a destination, but bounded: with one hot group of a
+	// single chip the only candidate is src itself and an unbounded loop
+	// never terminates. Non-degenerate draw spaces exit on the first
+	// accepted sample exactly as before (identical RNG consumption).
+	for try := 0; try < 16; try++ {
 		tg := h.HotGroups[rng.Intn(len(h.HotGroups))]
 		d := tg*h.ChipsPerGroup + rng.Int31n(h.ChipsPerGroup)
 		if d != src {
 			return d
 		}
 	}
+	// Fall back deterministically: the first hot-group chip that is not the
+	// source, or silence when src is the entire hot set.
+	for _, tg := range h.HotGroups {
+		for c := int32(0); c < h.ChipsPerGroup; c++ {
+			if d := tg*h.ChipsPerGroup + c; d != src {
+				return d
+			}
+		}
+	}
+	return -1
 }
 
 // WorstCase is the Dragonfly adversarial pattern: every chip of W-group Wi
@@ -373,12 +387,43 @@ type Volume struct {
 
 // NewVolume builds a volume generator for chips×nodes injection points.
 func NewVolume(p Pattern, totalFlits int64, packetSize int32, chips, nodesPerChip int) *Volume {
-	perNode := (totalFlits + int64(nodesPerChip)*int64(packetSize) - 1) /
-		(int64(nodesPerChip) * int64(packetSize))
+	counts := make([]int, chips)
+	for c := range counts {
+		counts[c] = nodesPerChip
+	}
+	return NewVolumePerChip(p, totalFlits, packetSize, counts, nil)
+}
+
+// NewVolumePerChip builds a volume generator where chip c splits its
+// TotalFlits across counts[c] injection nodes — the shape of a degraded
+// network, where a chip that lost cores keeps fewer injectors but still
+// owes the collective its full volume. A zero count silences the chip (a
+// dead die owes nothing). participants, when non-nil, restricts the volume
+// to the listed chips: everyone else starts exhausted, so Done() reflects
+// only the chips the schedule actually involves. A nil participants charges
+// every chip, matching NewVolume.
+func NewVolumePerChip(p Pattern, totalFlits int64, packetSize int32, counts []int, participants []int32) *Volume {
 	v := &Volume{Pattern: p, PacketSize: packetSize}
-	v.remaining = make([][]int64, chips)
+	v.remaining = make([][]int64, len(counts))
+	active := make([]bool, len(counts))
+	if participants == nil {
+		for c := range active {
+			active[c] = true
+		}
+	} else {
+		for _, c := range participants {
+			if int(c) < len(active) {
+				active[c] = true
+			}
+		}
+	}
 	for c := range v.remaining {
-		v.remaining[c] = make([]int64, nodesPerChip)
+		v.remaining[c] = make([]int64, counts[c])
+		if !active[c] || counts[c] == 0 {
+			continue
+		}
+		perNode := (totalFlits + int64(counts[c])*int64(packetSize) - 1) /
+			(int64(counts[c]) * int64(packetSize))
 		for n := range v.remaining[c] {
 			v.remaining[c][n] = perNode
 		}

@@ -134,6 +134,72 @@ func TestHotspotConfinement(t *testing.T) {
 	}
 }
 
+// TestHotspotSingleChipGroupTerminates is the regression test for the
+// unbounded rejection loop: with one hot W-group holding a single chip the
+// only candidate destination is the source itself, and Dest used to spin
+// forever. It must return silence instead.
+func TestHotspotSingleChipGroupTerminates(t *testing.T) {
+	h := Hotspot{ChipsPerGroup: 1, HotGroups: []int32{3}}
+	r := rng()
+	if d := h.Dest(3, r); d != -1 {
+		t.Fatalf("degenerate hotspot returned %d, want -1 (silence)", d)
+	}
+	// Cold chips stay silent as before.
+	if d := h.Dest(0, r); d != -1 {
+		t.Fatalf("cold chip transmitted to %d", d)
+	}
+	// With a second single-chip hot group there is a real candidate; the
+	// bounded loop (or its fallback) must find it, never the source.
+	h2 := Hotspot{ChipsPerGroup: 1, HotGroups: []int32{3, 5}}
+	for i := 0; i < 200; i++ {
+		if d := h2.Dest(3, r); d != 5 {
+			t.Fatalf("two-group degenerate hotspot returned %d, want 5", d)
+		}
+	}
+}
+
+func TestVolumePerChipParticipants(t *testing.T) {
+	counts := []int{2, 0, 1, 2} // chip 1 lost every injector
+	v := NewVolumePerChip(Ring{N: 4}, 64, 4, counts, []int32{0, 2})
+	// Non-participants (3) and zero-count chips (1) start exhausted.
+	if d := v.NextDest(0, 3, 0, rng()); d != -1 {
+		t.Fatalf("non-participant injected to %d", d)
+	}
+	if !vDone(v, 1) {
+		t.Fatal("zero-count chip owes volume")
+	}
+	// Chip 0 splits 64 flits over 2 nodes of 4-flit packets: 8 each; chip 2
+	// pushes all 16 packets through its single surviving node.
+	for n := 0; n < 2; n++ {
+		for i := 0; i < 8; i++ {
+			if d := v.NextDest(0, 0, n, rng()); d != 1 {
+				t.Fatalf("chip 0 node %d packet %d: dest %d", n, i, d)
+			}
+		}
+		if d := v.NextDest(0, 0, n, rng()); d != -1 {
+			t.Fatal("chip 0 exceeded its volume")
+		}
+	}
+	for i := 0; i < 16; i++ {
+		if d := v.NextDest(0, 2, 0, rng()); d != 3 {
+			t.Fatalf("chip 2 packet %d: dest %d", i, d)
+		}
+	}
+	if !v.Done() {
+		t.Fatal("volume not done after participants drained")
+	}
+}
+
+// vDone reports whether chip c's volume is exhausted.
+func vDone(v *Volume, c int) bool {
+	for _, left := range v.remaining[c] {
+		if left > 0 {
+			return false
+		}
+	}
+	return true
+}
+
 func TestWorstCaseNeighborGroup(t *testing.T) {
 	w := WorstCase{ChipsPerGroup: 4, Groups: 5}
 	r := rng()
