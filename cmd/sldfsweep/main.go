@@ -31,6 +31,7 @@ import (
 	"sldf/internal/campaign/remote"
 	"sldf/internal/core"
 	"sldf/internal/metrics"
+	"sldf/internal/profiling"
 	"sldf/internal/routing"
 	"sldf/internal/topology"
 )
@@ -56,7 +57,16 @@ func main() {
 		faultRouters = flag.Float64("faultrouters", 0, "fraction of redundant routers (port modules, spare cores) to fail")
 		faultSeed    = flag.Uint64("faultseed", 1, "fault-sampling seed (same spec + seed = same failures)")
 	)
+	prof := profiling.Flags()
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fatalf("%v", err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "sldfsweep:", err)
+		}
+	}()
 
 	rates := core.RateGrid(*from, *to, *step)
 	sp := core.SimParams{Warmup: *warmup, Measure: *measure,

@@ -14,6 +14,7 @@ import (
 
 	"sldf/internal/core"
 	"sldf/internal/netsim"
+	"sldf/internal/profiling"
 	"sldf/internal/routing"
 )
 
@@ -33,7 +34,16 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		printKey = flag.Bool("printkey", false, "also print the point's content-addressed campaign job key (correlates with -cache stores and sldfd workers)")
 	)
+	prof := profiling.Flags()
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fatalf("%v", err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "slsim:", err)
+		}
+	}()
 
 	cfg := core.Config{Seed: *seed, Workers: *workers, IntraWidth: int32(*width)}
 	switch *mode {

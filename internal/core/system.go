@@ -31,6 +31,10 @@ type System struct {
 	// chip is alive. MeasureLoad uses it to silence traffic aimed at dead
 	// chips on degraded builds.
 	aliveChips []bool
+
+	// rateGen is the reusable injection generator: MeasureLoad reinitializes
+	// it in place so a sweep's measurement loop allocates nothing per point.
+	rateGen traffic.Rate
 }
 
 // DeadChips returns the chips the fault set removed from the workload.
@@ -250,8 +254,8 @@ type Result struct {
 func (s *System) MeasureLoad(pat traffic.Pattern, rate float64, sp SimParams) (Result, error) {
 	s.Net.SetEngine(sp.Engine)
 	pat = traffic.FilterDead(pat, s.aliveChips)
-	gen := traffic.NewRate(pat, rate, sp.PacketSize, s.NodesPerChip)
-	s.Net.SetTraffic(gen, sp.PacketSize, netsim.DstSameIndex)
+	s.rateGen.Init(pat, rate, sp.PacketSize, s.NodesPerChip)
+	s.Net.SetTraffic(&s.rateGen, sp.PacketSize, netsim.DstSameIndex)
 	if err := s.Net.Run(sp.Warmup); err != nil {
 		return Result{}, fmt.Errorf("%s warmup: %w", s.Label, err)
 	}

@@ -154,7 +154,8 @@ func (n *Network) rebuildActive() {
 			}
 		}
 	}
-	for _, l := range n.Links {
+	for i := range n.Links {
+		l := &n.Links[i]
 		if l.data.n > 0 {
 			l.dataActive = true
 			n.active[l.dstShard].scheduleData(l, max(l.data.frontAt(), n.Cycle))

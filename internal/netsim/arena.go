@@ -1,0 +1,136 @@
+package netsim
+
+import "sync"
+
+// PacketRef is an index into the network's packet arena. All hot-path
+// storage (VC rings, link pipelines, free lists) holds refs rather than
+// *Packet: a ref is half the size of a pointer and, being an integer, is
+// invisible to the garbage collector, so a saturated wafer-scale build no
+// longer pays a GC scan proportional to its queued traffic. *Packet is kept
+// as the transient working handle — arena chunks never move, so a pointer
+// obtained from pkt() stays valid for the packet's lifetime.
+type PacketRef = int32
+
+// NilRef marks the absence of a packet.
+const NilRef PacketRef = -1
+
+const (
+	// arenaChunkShift sizes an arena chunk at 1024 packets (~90 KiB): big
+	// enough that growth is rare, small enough that tiny test networks do
+	// not overcommit.
+	arenaChunkShift = 10
+	arenaChunkSize  = 1 << arenaChunkShift
+	arenaChunkMask  = arenaChunkSize - 1
+	// arenaMaxChunks bounds the chunk directory (32768 chunks = 33M packets
+	// in flight, ~3 GiB of packet state — far past any RSS budget).
+	arenaMaxChunks = 1 << 15
+)
+
+type arenaChunk = [arenaChunkSize]Packet
+
+// packetArena is the network-owned backing store for every live packet.
+// Chunks are allocated on demand and never freed or moved; slots are
+// recycled through per-shard free lists of refs (see shardStats.free).
+//
+// Concurrency: the chunk directory is a fixed-length table whose slots are
+// filled under mu by whichever shard grows first. A shard only dereferences
+// refs it can reach through its own routers' queues and link pipelines, and
+// a ref crosses shards exclusively over a link queue, i.e. over at least
+// one inter-phase pool barrier — which orders the directory write before
+// any cross-shard read. Slot reuse follows the same rule: a freed ref lands
+// on the freeing shard's own list.
+type packetArena struct {
+	mu      sync.Mutex
+	chunks  []*arenaChunk // fixed length arenaMaxChunks once allocated
+	nchunks int32
+}
+
+// at returns the packet addressed by ref. The returned pointer is stable:
+// chunks never move.
+func (a *packetArena) at(ref PacketRef) *Packet {
+	return &a.chunks[ref>>arenaChunkShift][ref&arenaChunkMask]
+}
+
+// allocated returns the number of packet slots carved out so far.
+func (a *packetArena) allocated() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return int(a.nchunks) << arenaChunkShift
+}
+
+// grow allocates one chunk and appends its refs to free in descending
+// order, so pops hand out ascending (cache-adjacent) slots. Called by a
+// shard whose free list ran dry; the mutex serializes concurrent growers.
+func (a *packetArena) grow(free *[]PacketRef) {
+	a.mu.Lock()
+	if a.chunks == nil {
+		a.chunks = make([]*arenaChunk, arenaMaxChunks)
+	}
+	c := a.nchunks
+	if int(c) >= arenaMaxChunks {
+		a.mu.Unlock()
+		panic("netsim: packet arena exhausted (33M packets in flight)")
+	}
+	a.chunks[c] = new(arenaChunk)
+	a.nchunks = c + 1
+	a.mu.Unlock()
+	base := PacketRef(c) << arenaChunkShift
+	for i := arenaChunkSize - 1; i >= 0; i-- {
+		*free = append(*free, base+PacketRef(i))
+	}
+}
+
+// reclaim rebuilds the per-shard free lists from the full arena, handing
+// shard s a contiguous ascending range of every allocated slot. Called by
+// Reset (single-threaded), where all in-flight refs have just been dropped:
+// without this, packets still traveling at reset time would leak their
+// slots and a build-once/measure-many loop would grow the arena without
+// bound. Existing free-list capacity is reused, so steady-state resets
+// allocate nothing.
+func (a *packetArena) reclaim(shards []shardStats) {
+	total := int(a.nchunks) << arenaChunkShift
+	per := total / len(shards)
+	rem := total % len(shards)
+	lo := 0
+	for s := range shards {
+		cnt := per
+		if s < rem {
+			cnt++
+		}
+		free := shards[s].free[:0]
+		for ref := lo + cnt - 1; ref >= lo; ref-- {
+			free = append(free, PacketRef(ref))
+		}
+		shards[s].free = free
+		lo += cnt
+	}
+}
+
+// allocPacket hands out a zeroed packet slot from the shard's free list,
+// growing the arena by one chunk when the list is dry.
+func (n *Network) allocPacket(shard int) (PacketRef, *Packet) {
+	ss := &n.shard[shard]
+	if len(ss.free) == 0 {
+		n.arena.grow(&ss.free)
+	}
+	ref := ss.free[len(ss.free)-1]
+	ss.free = ss.free[:len(ss.free)-1]
+	p := n.arena.at(ref)
+	*p = Packet{}
+	return ref, p
+}
+
+// Pkt returns the packet addressed by ref, for tests and diagnostics.
+func (n *Network) Pkt(ref PacketRef) *Packet { return n.arena.at(ref) }
+
+// ArenaSlots returns (allocated, free) packet-slot counts across the
+// network: allocated is the arena's total capacity, free the slots
+// currently on shard free lists. allocated - free = packets live in queues
+// and link pipelines. Used by leak tests and the scale harness.
+func (n *Network) ArenaSlots() (allocated, free int) {
+	allocated = n.arena.allocated()
+	for s := range n.shard {
+		free += len(n.shard[s].free)
+	}
+	return allocated, free
+}

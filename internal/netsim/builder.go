@@ -19,10 +19,21 @@ type LinkSpec struct {
 
 // Builder incrementally constructs a Network. Topology packages call
 // AddRouter/Connect and then Finalize. Builders are single-use.
+//
+// Construction is allocation-lean by design: links accumulate as values and
+// ports exist only as per-router counts until Finalize, which carves every
+// retained slice — the router table, both port arrays, VC queues, ring
+// windows, credits — at exact size from shared slabs. Nothing the builder
+// allocates becomes garbage in the finished network, and append-doubling
+// overshoot never survives into it.
 type Builder struct {
 	routers []Router
-	links   []*Link
-	err     error
+	// nIn/nOut count ports per router; the InPort/OutPort structs themselves
+	// are materialized in Finalize from two network-wide slabs.
+	nIn   []int32
+	nOut  []int32
+	links []Link
+	err   error
 }
 
 // NewBuilder returns an empty network builder.
@@ -44,6 +55,8 @@ func (b *Builder) AddRouter(kind RouterKind) NodeID {
 		InjIn:    -1,
 		EjectOut: -1,
 	})
+	b.nIn = append(b.nIn, 0)
+	b.nOut = append(b.nOut, 0)
 	return id
 }
 
@@ -71,7 +84,15 @@ func (b *Builder) Connect(src, dst NodeID, spec LinkSpec) (outPort, inPort int) 
 		b.fail("link %d→%d: at most 8 VCs supported (got %d)", src, dst, spec.VCs)
 		return 0, 0
 	}
-	l := &Link{
+	outPort = int(b.nOut[src])
+	b.nOut[src]++
+	inPort = int(b.nIn[dst])
+	b.nIn[dst]++
+
+	// The ports themselves, their Link pointers and buffer storage are all
+	// materialized in Finalize, once the link table has its final address
+	// and the slab sizes are known.
+	b.links = append(b.links, Link{
 		ID:       int32(len(b.links)),
 		Src:      src,
 		Dst:      dst,
@@ -80,22 +101,9 @@ func (b *Builder) Connect(src, dst NodeID, spec LinkSpec) (outPort, inPort int) 
 		Class:    spec.Class,
 		VCs:      spec.VCs,
 		BufFlits: spec.BufFlits,
-	}
-	b.links = append(b.links, l)
-
-	sr := &b.routers[src]
-	credits := make([]int32, spec.VCs)
-	for i := range credits {
-		credits[i] = spec.BufFlits
-	}
-	sr.Out = append(sr.Out, OutPort{Link: l, Credits: credits})
-	outPort = len(sr.Out) - 1
-
-	dr := &b.routers[dst]
-	dr.In = append(dr.In, InPort{Link: l, VCs: make([]vcQueue, spec.VCs)})
-	inPort = len(dr.In) - 1
-	l.SrcPort = int16(outPort)
-	l.DstPort = int16(inPort)
+		SrcPort:  int16(outPort),
+		DstPort:  int16(inPort),
+	})
 	return outPort, inPort
 }
 
@@ -118,10 +126,10 @@ func (b *Builder) AddTerminal(id NodeID, chip int32, nodeIdx int32) {
 	}
 	r.Chip = chip
 	r.Local = nodeIdx
-	r.In = append(r.In, InPort{Link: nil, VCs: make([]vcQueue, 1)})
-	r.InjIn = int16(len(r.In) - 1)
-	r.Out = append(r.Out, OutPort{Link: nil})
-	r.EjectOut = int16(len(r.Out) - 1)
+	r.InjIn = int16(b.nIn[id])
+	b.nIn[id]++
+	r.EjectOut = int16(b.nOut[id])
+	b.nOut[id]++
 }
 
 func (b *Builder) fail(format string, args ...any) {
@@ -184,9 +192,24 @@ func (b *Builder) Finalize(opts NetworkOptions) (*Network, error) {
 		wd = DefaultWatchdogCycles
 	}
 
+	// Retain the router table at exact size: append-doubling overshoot in
+	// the builder's slice must not survive into the network.
+	routers := make([]Router, len(b.routers))
+	copy(routers, b.routers)
+	// Compact the per-chip terminal lists into one backing array.
+	terms := 0
+	for _, nodes := range chips {
+		terms += len(nodes)
+	}
+	termSlab := make([]NodeID, 0, terms)
+	for c := range chips {
+		start := len(termSlab)
+		termSlab = append(termSlab, chips[c]...)
+		chips[c] = termSlab[start:len(termSlab):len(termSlab)]
+	}
+
 	n := &Network{
-		Routers:       b.routers,
-		Links:         b.links,
+		Routers:       routers,
 		ChipNodes:     chips,
 		pool:          pool,
 		ownedPool:     owned,
@@ -197,11 +220,96 @@ func (b *Builder) Finalize(opts NetworkOptions) (*Network, error) {
 		watchdogLimit: wd,
 		engineKind:    opts.Engine,
 	}
+	// Materialize every router's ports from two network-wide slabs, carved
+	// at exact size from the builder's per-router counts.
+	totIn, totOut := 0, 0
+	for i := range b.nIn {
+		totIn += int(b.nIn[i])
+		totOut += int(b.nOut[i])
+	}
+	allIn := make([]InPort, totIn)
+	allOut := make([]OutPort, totOut)
+	ii, oi := 0, 0
+	for i := range n.Routers {
+		r := &n.Routers[i]
+		ki, ko := int(b.nIn[i]), int(b.nOut[i])
+		r.In = allIn[ii : ii+ki : ii+ki]
+		ii += ki
+		r.Out = allOut[oi : oi+ko : oi+ko]
+		oi += ko
+	}
 	for i := range n.Routers {
 		n.Routers[i].RNG = engine.NewRNGStream(opts.Seed, uint64(i))
 		// Routers beyond 64 ports fall back to full port scans; none of the
 		// evaluated systems comes close.
 		n.Routers[i].wide = len(n.Routers[i].In) > 64 || len(n.Routers[i].Out) > 64
+	}
+	// Adopt the link table as the network's contiguous value slice. n.Links
+	// never resizes after Finalize, so &n.Links[i] is stable; ports are
+	// wired onto it here.
+	n.Links = make([]Link, len(b.links))
+	copy(n.Links, b.links)
+	for i := range n.Links {
+		l := &n.Links[i]
+		n.Routers[l.Src].Out[l.SrcPort].Link = l
+		n.Routers[l.Dst].In[l.DstPort].Link = l
+	}
+	// Pack each router's hot port state contiguously: all VC queues in one
+	// slab, all credit counters in another, and every network VC's initial
+	// ring window carved from a shared ref array. A queue that outgrows its
+	// window migrates to a private ring (vcQueue.grow); the injection
+	// pseudo-queue starts with no window at all since its depth is
+	// load-dependent and unbounded.
+	for i := range n.Routers {
+		r := &n.Routers[i]
+		portVCs := func(link *Link) int {
+			if link == nil {
+				return 1 // injection pseudo-port: a single source queue
+			}
+			return int(link.VCs)
+		}
+		nvc, netVCs, ncred := 0, 0, 0
+		for in := range r.In {
+			nvc += portVCs(r.In[in].Link)
+			if r.In[in].Link != nil {
+				netVCs += int(r.In[in].Link.VCs)
+			}
+		}
+		for o := range r.Out {
+			if l := r.Out[o].Link; l != nil {
+				ncred += int(l.VCs)
+			}
+		}
+		vcs := make([]vcQueue, nvc)
+		rings := make([]PacketRef, netVCs*vcRingWindow)
+		creds := make([]int32, ncred)
+		vi, ri, ci := 0, 0, 0
+		for in := range r.In {
+			ip := &r.In[in]
+			k := portVCs(ip.Link)
+			ip.VCs = vcs[vi : vi+k : vi+k]
+			vi += k
+			if ip.Link == nil {
+				continue
+			}
+			for v := range ip.VCs {
+				ip.VCs[v].buf = rings[ri : ri+vcRingWindow : ri+vcRingWindow]
+				ri += vcRingWindow
+			}
+		}
+		for o := range r.Out {
+			op := &r.Out[o]
+			if op.Link == nil {
+				continue
+			}
+			k := int(op.Link.VCs)
+			nc := creds[ci : ci+k : ci+k]
+			ci += k
+			for v := range nc {
+				nc[v] = op.Link.BufFlits
+			}
+			op.Credits = nc
+		}
 	}
 	// Partition links by consumer shard for the phase-A drain.
 	shardOf := func(router NodeID) int {
@@ -215,7 +323,8 @@ func (b *Builder) Finalize(opts NetworkOptions) (*Network, error) {
 	}
 	n.dataLinks = make([][]*Link, shards)
 	n.creditLinks = make([][]*Link, shards)
-	for _, l := range n.Links {
+	for i := range n.Links {
+		l := &n.Links[i]
 		ds := shardOf(l.Dst)
 		n.dataLinks[ds] = append(n.dataLinks[ds], l)
 		l.dstShard = int32(ds)
@@ -230,9 +339,9 @@ func (b *Builder) Finalize(opts NetworkOptions) (*Network, error) {
 	// 64-slot floor gives sleeping routers room to park typical
 	// serialization waits.
 	maxDelay := int32(0)
-	for _, l := range n.Links {
-		if l.Delay > maxDelay {
-			maxDelay = l.Delay
+	for i := range n.Links {
+		if n.Links[i].Delay > maxDelay {
+			maxDelay = n.Links[i].Delay
 		}
 	}
 	wheelSize := 64
@@ -260,13 +369,10 @@ func (b *Builder) Finalize(opts NetworkOptions) (*Network, error) {
 			stageData:   make([][]*Link, shards),
 			stageCredit: make([][]*Link, shards),
 		}
-		// Stock the packet pool so low-load measurement windows run
-		// allocation-free from the first cycle; saturated windows still
-		// grow it on demand (once — Reset keeps the pool).
-		n.shard[s].free.prealloc(2*len(n.injectors[s]) + 64)
 	}
 	n.initPhases()
 	b.routers = nil
+	b.nIn, b.nOut = nil, nil
 	b.links = nil
 	return n, nil
 }

@@ -136,29 +136,28 @@ func TestIdealSwitchDeterministic(t *testing.T) {
 
 func TestVCQueueRemoveAt(t *testing.T) {
 	var q vcQueue
-	mk := func(id uint64) *Packet { return &Packet{ID: id, Size: 4} }
-	for i := uint64(1); i <= 5; i++ {
-		q.push(mk(i))
+	for i := PacketRef(1); i <= 5; i++ {
+		q.push(i, 4)
 	}
 	if q.size() != 5 || q.occ != 20 {
 		t.Fatalf("size %d occ %d", q.size(), q.occ)
 	}
-	p := q.removeAt(2) // removes ID 3
-	if p.ID != 3 {
-		t.Fatalf("removed %d, want 3", p.ID)
+	ref := q.removeAt(2, 4) // removes ref 3
+	if ref != 3 {
+		t.Fatalf("removed %d, want 3", ref)
 	}
 	if q.size() != 4 || q.occ != 16 {
 		t.Fatalf("after remove: size %d occ %d", q.size(), q.occ)
 	}
 	// Remaining order must be 1,2,4,5.
-	want := []uint64{1, 2, 4, 5}
+	want := []PacketRef{1, 2, 4, 5}
 	for i, w := range want {
-		if q.at(i).ID != w {
-			t.Fatalf("position %d: ID %d, want %d", i, q.at(i).ID, w)
+		if q.at(i) != w {
+			t.Fatalf("position %d: ref %d, want %d", i, q.at(i), w)
 		}
 	}
 	// removeAt(0) behaves like pop.
-	if q.removeAt(0).ID != 1 {
+	if q.removeAt(0, 4) != 1 {
 		t.Fatal("removeAt(0) did not pop head")
 	}
 }
@@ -166,15 +165,15 @@ func TestVCQueueRemoveAt(t *testing.T) {
 func TestPacketFIFOGrowth(t *testing.T) {
 	var f packetFIFO
 	for i := 0; i < 100; i++ {
-		f.push(&Packet{ID: uint64(i)}, int64(i))
+		f.push(PacketRef(i), int64(i))
 	}
 	if f.len() != 100 {
 		t.Fatalf("len %d", f.len())
 	}
 	for i := 0; i < 100; i++ {
-		tp, ok := f.popReady(1 << 40)
-		if !ok || tp.p.ID != uint64(i) {
-			t.Fatalf("pop %d: ok=%v id=%v", i, ok, tp.p)
+		ref, ok := f.popReady(1 << 40)
+		if !ok || ref != PacketRef(i) {
+			t.Fatalf("pop %d: ok=%v ref=%v", i, ok, ref)
 		}
 	}
 	if _, ok := f.popReady(1 << 40); ok {
@@ -184,7 +183,7 @@ func TestPacketFIFOGrowth(t *testing.T) {
 
 func TestPacketFIFOTimeGate(t *testing.T) {
 	var f packetFIFO
-	f.push(&Packet{ID: 1}, 10)
+	f.push(1, 10)
 	if _, ok := f.popReady(9); ok {
 		t.Fatal("packet delivered before its time")
 	}

@@ -1,9 +1,11 @@
 package netsim
 
 // timedPacket is a packet in flight on a link, ready for delivery at `at`.
+// It holds an arena ref, not a pointer, so link pipelines are invisible to
+// the garbage collector.
 type timedPacket struct {
-	p  *Packet
-	at int64
+	at  int64
+	ref PacketRef
 }
 
 // timedCredit is a credit message returning buffer space to the upstream
@@ -22,11 +24,11 @@ type packetFIFO struct {
 	n    int
 }
 
-func (f *packetFIFO) push(p *Packet, at int64) {
+func (f *packetFIFO) push(ref PacketRef, at int64) {
 	if f.n == len(f.buf) {
 		f.grow()
 	}
-	f.buf[(f.head+f.n)&(len(f.buf)-1)] = timedPacket{p: p, at: at}
+	f.buf[(f.head+f.n)&(len(f.buf)-1)] = timedPacket{ref: ref, at: at}
 	f.n++
 }
 
@@ -43,21 +45,20 @@ func (f *packetFIFO) grow() {
 	f.head = 0
 }
 
-// popReady removes and returns the front packet if it is deliverable at
-// cycle `now`; ok reports whether a packet was returned.
-func (f *packetFIFO) popReady(now int64) (tp timedPacket, ok bool) {
+// popReady removes and returns the front packet's ref if it is deliverable
+// at cycle `now`; ok reports whether a packet was returned.
+func (f *packetFIFO) popReady(now int64) (ref PacketRef, ok bool) {
 	if f.n == 0 {
-		return timedPacket{}, false
+		return NilRef, false
 	}
 	front := &f.buf[f.head]
 	if front.at > now {
-		return timedPacket{}, false
+		return NilRef, false
 	}
-	tp = *front
-	front.p = nil
+	ref = front.ref
 	f.head = (f.head + 1) & (len(f.buf) - 1)
 	f.n--
-	return tp, true
+	return ref, true
 }
 
 func (f *packetFIFO) len() int { return f.n }
@@ -68,9 +69,6 @@ func (f *packetFIFO) frontAt() int64 { return f.buf[f.head].at }
 
 // clear drops all queued packets, keeping the ring's capacity.
 func (f *packetFIFO) clear() {
-	for i := 0; i < f.n; i++ {
-		f.buf[(f.head+i)&(len(f.buf)-1)].p = nil
-	}
 	f.head, f.n = 0, 0
 }
 

@@ -24,9 +24,19 @@ var ErrDeadlock = errors.New("netsim: no progress with packets in flight (routin
 const DefaultWatchdogCycles = 10000
 
 // Network is a complete simulated interconnection network.
+//
+// Hot state lives in flat, index-addressed storage: Routers and Links are
+// value slices (one allocation each, walked contiguously by the engines);
+// every live packet resides in the network-owned arena and is referenced
+// by PacketRef from VC rings and link pipelines; each router's VC queue
+// records, ring windows and output credits are packed into per-router
+// backing arrays by Builder.Finalize.
 type Network struct {
 	Routers []Router
-	Links   []*Link
+	// Links holds the network's channels contiguously. Link pointers
+	// (InPort.Link, worklist entries) point into this slice and stay valid
+	// because it is never resized after Finalize.
+	Links []Link
 
 	// ChipNodes[c] lists the injection-capable router IDs of chip c, in
 	// deterministic (ascending router ID) order.
@@ -40,6 +50,11 @@ type Network struct {
 	packetSize int32
 	dstPolicy  DstNodePolicy
 	seed       uint64
+
+	arena packetArena
+
+	// utilScratch is the reusable top-k buffer returned by LinkUtilization.
+	utilScratch []LinkUtil
 
 	pool      *engine.Pool
 	ownedPool bool
@@ -135,9 +150,9 @@ func (n *Network) inWindow(cycle int64) bool {
 	return cycle >= n.measStart && cycle < n.measEnd
 }
 
-// deliver records an ejected packet; called from router allocation on the
-// given shard.
-func (n *Network) deliver(shard int, p *Packet) {
+// deliver records an ejected packet and recycles its arena slot; called
+// from router allocation on the given shard.
+func (n *Network) deliver(shard int, ref PacketRef, p *Packet) {
 	ss := &n.shard[shard]
 	ss.deliveredPkts++
 	if n.measStart != 0 || n.measuring || n.measEnd != 0 {
@@ -154,7 +169,7 @@ func (n *Network) deliver(shard int, p *Packet) {
 			}
 		}
 	}
-	ss.free.put(p)
+	ss.free = append(ss.free, ref)
 }
 
 // generate creates this cycle's new packets for every injection node of the
@@ -196,7 +211,7 @@ func (n *Network) generate(shard int, now int64, act *shardActive) {
 func (n *Network) admit(shard int, r *Router, dst int32, now int64, act *shardActive) {
 	ss := &n.shard[shard]
 	nodeIdx := int(r.Local)
-	p := ss.free.get()
+	ref, p := n.allocPacket(shard)
 	ss.pktSeq++
 	p.ID = uint64(shard)<<48 | ss.pktSeq
 	p.Aux, p.Aux2 = -1, -1
@@ -215,7 +230,7 @@ func (n *Network) admit(shard int, r *Router, dst int32, now int64, act *shardAc
 		ip.occMask |= 1
 		r.active++
 	}
-	ip.VCs[0].push(p)
+	ip.VCs[0].push(ref, p.Size)
 	r.nextAlloc = 0
 	if act != nil {
 		act.routers.Add(int(r.ID) - act.lo)
@@ -242,19 +257,20 @@ func (n *Network) drainDataLink(l *Link, now int64, act *shardActive) {
 	r := &n.Routers[l.Dst]
 	ip := &r.In[l.DstPort]
 	for {
-		tp, ok := l.data.popReady(now)
+		ref, ok := l.data.popReady(now)
 		if !ok {
 			break
 		}
-		q := &ip.VCs[tp.p.VC]
+		p := n.arena.at(ref)
+		q := &ip.VCs[p.VC]
 		if q.empty() {
 			if ip.occMask == 0 {
 				r.occPorts |= 1 << uint(l.DstPort)
 			}
-			ip.occMask |= 1 << tp.p.VC
+			ip.occMask |= 1 << p.VC
 			r.active++
 		}
-		q.push(tp.p)
+		q.push(ref, p.Size)
 		r.nextAlloc = 0
 		if act != nil {
 			act.routers.Add(int(l.Dst) - act.lo)

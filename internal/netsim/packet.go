@@ -55,6 +55,10 @@ func (c HopClass) String() string {
 // Packet is a network packet. A packet occupies Size flits of buffer space
 // and serializes over a link in ceil(Size/width) cycles. Routing state
 // (Phase, Aux, Aux2) is owned by the routing algorithm in use.
+//
+// Live packets reside in the network's arena (see PacketRef): queues and
+// link pipelines address them by index, while RouteFuncs and the cycle
+// engines work through stable *Packet handles into the arena's chunks.
 type Packet struct {
 	ID      uint64
 	SrcChip int32 // injecting chip (terminal endpoint)
@@ -88,42 +92,4 @@ func (p *Packet) TotalHops() int {
 		n += int(p.Hops[c])
 	}
 	return n
-}
-
-// reset clears a packet for reuse from a free list.
-func (p *Packet) reset() {
-	*p = Packet{}
-}
-
-// packetFreeList is a per-shard free list of packets. Each shard of the
-// network owns one; because a shard is stepped by exactly one worker per
-// phase, no synchronization is needed.
-type packetFreeList struct {
-	free []*Packet
-}
-
-// prealloc stocks the list with n packets carved from one contiguous block,
-// so a fresh build reaches its steady state without per-packet allocations
-// (and with better locality than GC-scattered packets).
-func (f *packetFreeList) prealloc(n int) {
-	blk := make([]Packet, n)
-	for i := range blk {
-		f.free = append(f.free, &blk[i])
-	}
-}
-
-func (f *packetFreeList) get() *Packet {
-	if n := len(f.free); n > 0 {
-		p := f.free[n-1]
-		f.free = f.free[:n-1]
-		p.reset()
-		return p
-	}
-	return &Packet{}
-}
-
-func (f *packetFreeList) put(p *Packet) {
-	if len(f.free) < 1<<16 {
-		f.free = append(f.free, p)
-	}
 }

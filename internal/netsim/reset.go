@@ -42,9 +42,10 @@ func (n *Network) Reset() {
 		}
 		r.RNG = engine.NewRNGStream(n.seed, uint64(i))
 	}
-	for _, l := range n.Links {
+	for i := range n.Links {
 		// Keep the ring buffers' capacity so a reset network reaches its
 		// steady state without re-growing them.
+		l := &n.Links[i]
 		l.data.clear()
 		l.credit.clear()
 		l.winFlits = 0
@@ -55,6 +56,11 @@ func (n *Network) Reset() {
 		free := n.shard[s].free
 		n.shard[s] = shardStats{free: free}
 	}
+	// Rebuild the free lists from the whole arena: dropping in-flight packets
+	// above released their queue slots without returning their refs, and
+	// reclaim puts every slot back in circulation (reusing list capacity, so
+	// steady-state resets allocate nothing).
+	n.arena.reclaim(n.shard)
 	for s := range n.active {
 		n.active[s].clear()
 	}
@@ -69,13 +75,11 @@ func (n *Network) Reset() {
 }
 
 // clear empties the VC queue and invalidates its cached routing decision,
-// dropping any packets it still holds.
+// dropping any packet refs it still holds. The ring keeps its backing slice
+// (refs are integers; nothing is retained for the GC).
 func (v *vcQueue) clear() {
-	for i := range v.q {
-		v.q[i] = nil
-	}
-	v.q = v.q[:0]
 	v.head = 0
+	v.n = 0
 	v.occ = 0
 	v.routed = false
 }

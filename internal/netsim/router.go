@@ -39,11 +39,17 @@ func (k RouterKind) String() string {
 	return "unknown"
 }
 
-// vcQueue is one virtual channel of an input port: a FIFO of whole packets
-// (virtual cut-through) with a cached routing decision for the head packet.
+// vcQueue is one virtual channel of an input port: a FIFO ring of packet
+// refs (virtual cut-through moves whole packets) with a cached routing
+// decision for the head packet. Network VCs start on a slice of the owning
+// router's shared ring backing (see Builder.Finalize), so a router's queue
+// state is contiguous in memory; a queue that outgrows its initial window —
+// or the unbounded injection pseudo-queue, which starts empty — falls back
+// to its own ring, doubling as needed and keeping the capacity forever.
 type vcQueue struct {
-	q    []*Packet
-	head int
+	buf  []PacketRef
+	head int32
+	n    int32
 	// occ is the flits currently occupied in this VC's buffer.
 	occ int32
 	// cached head routing decision; routed=false after any head change.
@@ -52,54 +58,86 @@ type vcQueue struct {
 	outVC   uint8
 }
 
-func (v *vcQueue) empty() bool { return v.head == len(v.q) }
+func (v *vcQueue) empty() bool { return v.n == 0 }
 
-func (v *vcQueue) front() *Packet {
-	return v.q[v.head]
-}
+func (v *vcQueue) size() int { return int(v.n) }
 
-func (v *vcQueue) push(p *Packet) {
-	if v.head > 0 && v.head == len(v.q) {
-		// Queue drained: reset to reuse capacity.
-		v.q = v.q[:0]
-		v.head = 0
+func (v *vcQueue) front() PacketRef { return v.buf[v.head] }
+
+// at returns the i-th queued ref (0 = head).
+func (v *vcQueue) at(i int) PacketRef {
+	j := v.head + int32(i)
+	if int(j) >= len(v.buf) {
+		j -= int32(len(v.buf))
 	}
-	v.q = append(v.q, p)
-	v.occ += p.Size
+	return v.buf[j]
 }
 
-func (v *vcQueue) pop() *Packet {
-	p := v.q[v.head]
-	v.q[v.head] = nil
+// push appends a packet of the given flit size to the tail.
+func (v *vcQueue) push(ref PacketRef, size int32) {
+	if int(v.n) == len(v.buf) {
+		v.grow()
+	}
+	j := v.head + v.n
+	if int(j) >= len(v.buf) {
+		j -= int32(len(v.buf))
+	}
+	v.buf[j] = ref
+	v.n++
+	v.occ += size
+}
+
+// grow moves the ring onto a private doubled buffer, unwrapping it. The
+// old window (possibly shared router backing) is simply abandoned.
+func (v *vcQueue) grow() {
+	nc := 2 * len(v.buf)
+	if nc < 8 {
+		nc = 8
+	}
+	nb := make([]PacketRef, nc)
+	for i := 0; i < int(v.n); i++ {
+		nb[i] = v.at(i)
+	}
+	v.buf = nb
+	v.head = 0
+}
+
+// pop removes and returns the head ref; size must be the head packet's
+// flit count (the caller holds the packet already).
+func (v *vcQueue) pop(size int32) PacketRef {
+	ref := v.buf[v.head]
 	v.head++
-	v.occ -= p.Size
-	v.routed = false
-	if v.head == len(v.q) {
-		v.q = v.q[:0]
+	if int(v.head) == len(v.buf) {
 		v.head = 0
 	}
-	return p
+	v.n--
+	v.occ -= size
+	v.routed = false
+	return ref
 }
 
-func (v *vcQueue) size() int { return len(v.q) - v.head }
-
-// at returns the i-th queued packet (0 = head).
-func (v *vcQueue) at(i int) *Packet { return v.q[v.head+i] }
-
-// removeAt removes and returns the i-th queued packet, preserving the order
+// removeAt removes and returns the i-th queued ref, preserving the order
 // of the others. Used by ideal (non-blocking) switches to bypass a blocked
 // head-of-line packet.
-func (v *vcQueue) removeAt(i int) *Packet {
+func (v *vcQueue) removeAt(i int, size int32) PacketRef {
 	if i == 0 {
-		return v.pop()
+		return v.pop(size)
 	}
-	idx := v.head + i
-	p := v.q[idx]
-	copy(v.q[idx:], v.q[idx+1:])
-	v.q[len(v.q)-1] = nil
-	v.q = v.q[:len(v.q)-1]
-	v.occ -= p.Size
-	return p
+	ref := v.at(i)
+	for k := i; k < int(v.n)-1; k++ {
+		j := v.head + int32(k)
+		if int(j) >= len(v.buf) {
+			j -= int32(len(v.buf))
+		}
+		nj := j + 1
+		if int(nj) >= len(v.buf) {
+			nj = 0
+		}
+		v.buf[j] = v.buf[nj]
+	}
+	v.n--
+	v.occ -= size
+	return ref
 }
 
 // InPort is a router input port: one VC-partitioned buffer fed by a link.
@@ -210,6 +248,15 @@ type Router struct {
 // consider beyond the head.
 const idealLookahead = 4
 
+// vcRingWindow is the initial ring capacity (in packet refs) a network VC
+// queue gets from its router's shared backing array. Two slots cover the
+// common case (a VC holding the packet in service plus one behind it); the
+// minority of queues that run deeper under load migrate once to a private
+// doubled ring and keep it forever. Kept deliberately small: the windows
+// are paid for every VC of every port at build time, and idle VCs — the
+// vast majority at any instant — never touch theirs.
+const vcRingWindow = 2
+
 // request key encoding: in<<16 | vc<<8 | queueIndex.
 func reqKey(in, vc, idx int) int32 {
 	return int32(in)<<16 | int32(vc)<<8 | int32(idx)
@@ -240,6 +287,7 @@ func (r *Router) allocate(net *Network, now int64, shard int, act *shardActive) 
 	if r.requests == nil {
 		r.requests = make([][]int32, len(r.Out))
 	}
+	arena := &net.arena
 	wide := r.wide
 	var outMask uint64
 	inIter := r.occPorts
@@ -269,7 +317,7 @@ func (r *Router) allocate(net *Network, now int64, shard int, act *shardActive) 
 			}
 			q := &ip.VCs[vc]
 			if !q.routed {
-				p := q.front()
+				p := arena.at(q.front())
 				out, outVC := net.route(net, r, p)
 				q.outPort = int16(out)
 				q.outVC = outVC
@@ -283,7 +331,7 @@ func (r *Router) allocate(net *Network, now int64, shard int, act *shardActive) 
 					depth = idealLookahead + 1
 				}
 				for i := 1; i < depth; i++ {
-					out, _ := net.route(net, r, q.at(i))
+					out, _ := net.route(net, r, arena.at(q.at(i)))
 					r.requests[out] = append(r.requests[out], reqKey(in, vc, i))
 					outMask |= 1 << uint(out)
 				}
@@ -335,6 +383,7 @@ func (r *Router) allocate(net *Network, now int64, shard int, act *shardActive) 
 		n := len(reqs)
 		granted := -1
 		var gOutVC uint8
+		var gp *Packet
 		for k := 0; k < n; k++ {
 			idx := (int(op.rr) + k) % n
 			key := reqs[idx]
@@ -344,7 +393,7 @@ func (r *Router) allocate(net *Network, now int64, shard int, act *shardActive) 
 			var p *Packet
 			var outVC uint8
 			if qi == 0 {
-				p = q.front()
+				p = arena.at(q.front())
 				outVC = q.outVC
 			} else {
 				// Ideal-switch lookahead request: at most one grant per VC
@@ -352,7 +401,7 @@ func (r *Router) allocate(net *Network, now int64, shard int, act *shardActive) 
 				if r.granted[grantIdx(in, vc)] == now+1 || qi >= q.size() {
 					continue
 				}
-				p = q.at(qi)
+				p = arena.at(q.at(qi))
 				var out int
 				out, outVC = net.route(net, r, p)
 				if out != o {
@@ -371,6 +420,7 @@ func (r *Router) allocate(net *Network, now int64, shard int, act *shardActive) 
 			}
 			granted = idx
 			gOutVC = outVC
+			gp = p
 			break
 		}
 		if granted < 0 {
@@ -381,7 +431,8 @@ func (r *Router) allocate(net *Network, now int64, shard int, act *shardActive) 
 		in, vc, qi := reqIn(key), reqVC(key), reqIdx(key)
 		ip := &r.In[in]
 		q := &ip.VCs[vc]
-		p := q.removeAt(qi)
+		p := gp
+		ref := q.removeAt(qi, p.Size)
 		if q.empty() {
 			ip.occMask &^= 1 << vc
 			if ip.occMask == 0 {
@@ -420,7 +471,7 @@ func (r *Router) allocate(net *Network, now int64, shard int, act *shardActive) 
 			}
 			p.DeliveredAt = now + ser
 			p.Hops[HopEject]++
-			net.deliver(shard, p)
+			net.deliver(shard, ref, p)
 			continue
 		}
 
@@ -438,7 +489,7 @@ func (r *Router) allocate(net *Network, now int64, shard int, act *shardActive) 
 		}
 		// Virtual cut-through: head available downstream after wire delay
 		// plus one cycle of flit time.
-		l.data.push(p, now+int64(l.Delay)+1)
+		l.data.push(ref, now+int64(l.Delay)+1)
 		if act != nil {
 			act.stageDataLink(l)
 		}

@@ -112,7 +112,8 @@ type shardStats struct {
 	lat           LatencyHist
 	moved         int64 // packets that traversed a crossbar this cycle
 	pktSeq        uint64
-	free          packetFreeList
+	// free holds recycled arena slots owned by this shard (see packetArena).
+	free []PacketRef
 }
 
 // Stats is a merged snapshot of simulation results.

@@ -88,17 +88,21 @@ func TestPacketTotalHops(t *testing.T) {
 	}
 }
 
-func TestFreeListReuse(t *testing.T) {
-	var f packetFreeList
-	p := f.get()
+func TestArenaSlotReuse(t *testing.T) {
+	n := &Network{shard: make([]shardStats, 1)}
+	ref, p := n.allocPacket(0)
 	p.ID = 42
 	p.Hops[HopGlobal] = 7
-	f.put(p)
-	q := f.get()
-	if q != p {
-		t.Fatal("free list did not reuse the packet")
+	n.shard[0].free = append(n.shard[0].free, ref)
+	ref2, q := n.allocPacket(0)
+	if ref2 != ref || q != p {
+		t.Fatal("arena did not reuse the freed slot")
 	}
 	if q.ID != 0 || q.Hops[HopGlobal] != 0 {
-		t.Fatal("reused packet not reset")
+		t.Fatal("reused slot not zeroed")
+	}
+	alloc, free := n.ArenaSlots()
+	if alloc != arenaChunkSize || free != arenaChunkSize-1 {
+		t.Fatalf("slots: alloc %d free %d", alloc, free)
 	}
 }

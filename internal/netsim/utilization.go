@@ -1,7 +1,5 @@
 package netsim
 
-import "sort"
-
 // LinkUtil summarizes one link's load over the measurement window.
 type LinkUtil struct {
 	Link        *Link
@@ -14,6 +12,11 @@ type LinkUtil struct {
 // bisection saturating in Fig. 12 while global channels idle). Disabled
 // links carry no flits and contribute no capacity: class utilization is
 // relative to the surviving links of the class.
+//
+// The top-k list is kept by a single running-selection pass over the flat
+// link slice and returned in network-owned scratch, so a measurement loop
+// calling this every load point allocates nothing; the slice is valid until
+// the next call.
 func (n *Network) LinkUtilization(k int) (byClass [NumHopClasses]float64, hottest []LinkUtil) {
 	end := n.measEnd
 	if n.measuring || end > n.Cycle {
@@ -24,8 +27,22 @@ func (n *Network) LinkUtilization(k int) (byClass [NumHopClasses]float64, hottes
 		return byClass, nil
 	}
 	var classFlits, classCap [NumHopClasses]float64
-	utils := make([]LinkUtil, 0, len(n.Links))
-	for _, l := range n.Links {
+	if k > len(n.Links) {
+		k = len(n.Links)
+	}
+	top := n.utilScratch[:0]
+	if cap(top) < k {
+		top = make([]LinkUtil, 0, k)
+	}
+	// hotter is the ranking: utilization descending, link ID ascending.
+	hotter := func(a, b *LinkUtil) bool {
+		if a.Utilization != b.Utilization {
+			return a.Utilization > b.Utilization
+		}
+		return a.Link.ID < b.Link.ID
+	}
+	for i := range n.Links {
+		l := &n.Links[i]
 		if l.Disabled {
 			continue
 		}
@@ -36,21 +53,22 @@ func (n *Network) LinkUtilization(k int) (byClass [NumHopClasses]float64, hottes
 		}
 		classFlits[l.Class] += float64(l.winFlits)
 		classCap[l.Class] += capacity
-		utils = append(utils, u)
+		if len(top) < k {
+			top = append(top, u)
+		} else if k > 0 && hotter(&u, &top[k-1]) {
+			top[k-1] = u
+		} else {
+			continue
+		}
+		for j := len(top) - 1; j > 0 && hotter(&top[j], &top[j-1]); j-- {
+			top[j], top[j-1] = top[j-1], top[j]
+		}
 	}
 	for c := range byClass {
 		if classCap[c] > 0 {
 			byClass[c] = classFlits[c] / classCap[c]
 		}
 	}
-	sort.Slice(utils, func(i, j int) bool {
-		if utils[i].Utilization != utils[j].Utilization {
-			return utils[i].Utilization > utils[j].Utilization
-		}
-		return utils[i].Link.ID < utils[j].Link.ID
-	})
-	if k > len(utils) {
-		k = len(utils)
-	}
-	return byClass, utils[:k]
+	n.utilScratch = top
+	return byClass, top
 }

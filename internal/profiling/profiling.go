@@ -1,0 +1,78 @@
+// Package profiling wires pprof capture into commands. A command registers
+// the standard -cpuprofile/-memprofile flags before flag.Parse and brackets
+// its work between Start and Stop:
+//
+//	prof := profiling.Flags()
+//	flag.Parse()
+//	if err := prof.Start(); err != nil { ... }
+//	defer prof.Stop()
+//
+// Both flags default to off and cost nothing unless set.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiles holds the flag values and the open CPU-profile file, if any.
+type Profiles struct {
+	cpu *string
+	mem *string
+	f   *os.File
+}
+
+// Flags registers -cpuprofile and -memprofile on the default flag set.
+func Flags() *Profiles {
+	return &Profiles{
+		cpu: flag.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: flag.String("memprofile", "", "write a heap profile to this file on exit"),
+	}
+}
+
+// Start begins CPU profiling when -cpuprofile was given. Call after
+// flag.Parse.
+func (p *Profiles) Start() error {
+	if *p.cpu == "" {
+		return nil
+	}
+	f, err := os.Create(*p.cpu)
+	if err != nil {
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	p.f = f
+	return nil
+}
+
+// Stop finishes the CPU profile and, when -memprofile was given, collects
+// garbage and writes the live-heap profile. Safe to call when neither flag
+// was set.
+func (p *Profiles) Stop() error {
+	if p.f != nil {
+		pprof.StopCPUProfile()
+		if err := p.f.Close(); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		p.f = nil
+	}
+	if *p.mem == "" {
+		return nil
+	}
+	f, err := os.Create(*p.mem)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC() // profile live objects, not garbage
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}

@@ -117,13 +117,15 @@ func samplePerm(seed, stream uint64, n int) []int32 {
 func channelPairs(net *netsim.Network, keep func(l *netsim.Link) bool) [][2]int32 {
 	type ends struct{ src, dst netsim.NodeID }
 	reverse := make(map[ends]int32)
-	for _, l := range net.Links {
+	for i := range net.Links {
+		l := &net.Links[i]
 		if keep == nil || keep(l) {
 			reverse[ends{l.Src, l.Dst}] = l.ID
 		}
 	}
 	var out [][2]int32
-	for _, l := range net.Links {
+	for i := range net.Links {
+		l := &net.Links[i]
 		if l.Src >= l.Dst || (keep != nil && !keep(l)) {
 			continue
 		}

@@ -335,7 +335,15 @@ type Rate struct {
 
 // NewRate builds the generator; it precomputes the per-node probability.
 func NewRate(p Pattern, flitsPerChip float64, packetSize int32, nodesPerChip int) *Rate {
-	r := &Rate{
+	r := new(Rate)
+	r.Init(p, flitsPerChip, packetSize, nodesPerChip)
+	return r
+}
+
+// Init (re)configures r in place, letting a measurement loop reuse one Rate
+// value across load points instead of allocating a generator per point.
+func (r *Rate) Init(p Pattern, flitsPerChip float64, packetSize int32, nodesPerChip int) {
+	*r = Rate{
 		Pattern:      p,
 		FlitsPerChip: flitsPerChip,
 		PacketSize:   packetSize,
@@ -343,7 +351,6 @@ func NewRate(p Pattern, flitsPerChip float64, packetSize int32, nodesPerChip int
 	}
 	r.prob = flitsPerChip / float64(packetSize) / float64(nodesPerChip)
 	r.thresh = engine.BernoulliThreshold(r.prob)
-	return r
 }
 
 // NextDest implements netsim.Generator. The precomputed integer threshold
