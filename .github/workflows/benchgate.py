@@ -4,26 +4,44 @@
 Usage: benchgate.py base.txt head.txt max_regression_percent
 
 Parses `go test -bench` output (several -count repetitions per benchmark),
-takes the median ns/op per benchmark name, and fails when any benchmark
-present in both files regressed by more than the threshold. Medians make
-the gate robust to the occasional noisy repetition on shared CI runners;
-the human-readable comparison is printed by benchstat in the step before.
+takes the median per benchmark name of every metric present — ns/op always,
+B/op and allocs/op when the run used -benchmem — and fails when any
+benchmark present in both files regressed by more than the threshold on any
+metric. A benchmark whose base allocates nothing must keep allocating
+nothing: a zero-base B/op or allocs/op regression fails outright, because a
+percentage of zero can never trip the threshold. Medians make the gate
+robust to the occasional noisy repetition on shared CI runners; the
+human-readable comparison is printed by benchstat in the step before.
 """
 import re
 import statistics
 import sys
 
-LINE = re.compile(r"^(Benchmark\S+)\s+\d+\s+([0-9.e+]+) ns/op")
+NAME = re.compile(r"^(Benchmark\S+)\s+\d+\s")
+METRICS = ("ns/op", "B/op", "allocs/op")
+# Benchmarks may interleave custom ReportMetric columns (points, routers,
+# ...) between ns/op and the -benchmem pair, so each metric is located
+# anywhere on the line rather than positionally.
+VALUE = {m: re.compile(r"([0-9.e+]+) " + re.escape(m) + r"(?:\s|$)")
+         for m in METRICS}
 
 
 def load(path):
+    """Parse one bench file into {benchmark: {metric: median}}."""
     runs = {}
     with open(path) as f:
         for line in f:
-            m = LINE.match(line)
-            if m:
-                runs.setdefault(m.group(1), []).append(float(m.group(2)))
-    return {name: statistics.median(vals) for name, vals in runs.items()}
+            m = NAME.match(line)
+            if not m:
+                continue
+            per = runs.setdefault(m.group(1), {})
+            for metric, rx in VALUE.items():
+                v = rx.search(line)
+                if v:
+                    per.setdefault(metric, []).append(float(v.group(1)))
+    return {name: {metric: statistics.median(vals)
+                   for metric, vals in per.items()}
+            for name, per in runs.items()}
 
 
 def main():
@@ -42,19 +60,35 @@ def main():
         print("benchgate: no common benchmarks between base and head; skipping")
         return 0
     failed = []
+    compared = 0
     for name in shared:
-        delta = (new[name] - old[name]) / old[name] * 100
-        marker = ""
-        if delta > limit:
-            failed.append(name)
-            marker = f"  << exceeds +{limit:.0f}% limit"
-        print(f"{name:60s} {old[name]:14.0f} -> {new[name]:14.0f} ns/op "
-              f"({delta:+7.2f}%){marker}")
+        for metric in METRICS:
+            if metric not in old[name] or metric not in new[name]:
+                continue  # base predates -benchmem; ns/op still gates
+            compared += 1
+            o, n = old[name][metric], new[name][metric]
+            if o == 0:
+                # Nothing to take a percentage of: a zero base may only
+                # stay zero (new allocations on an allocation-free path
+                # are a regression whatever the threshold).
+                if n > 0:
+                    failed.append(f"{name} ({metric})")
+                    print(f"{name:60s} {o:14.0f} -> {n:14.0f} {metric} "
+                          f"  << regressed from zero")
+                continue
+            delta = (n - o) / o * 100
+            marker = ""
+            if delta > limit:
+                failed.append(f"{name} ({metric})")
+                marker = f"  << exceeds +{limit:.0f}% limit"
+            print(f"{name:60s} {o:14.0f} -> {n:14.0f} {metric:9s} "
+                  f"({delta:+7.2f}%){marker}")
     if failed:
-        print(f"\nbenchgate: {len(failed)} benchmark(s) regressed more than "
+        print(f"\nbenchgate: {len(failed)} metric(s) regressed more than "
               f"{limit:.0f}%: {', '.join(failed)}")
         return 1
-    print(f"\nbenchgate: OK ({len(shared)} benchmarks within +{limit:.0f}%)")
+    print(f"\nbenchgate: OK ({compared} metrics across {len(shared)} "
+          f"benchmarks within +{limit:.0f}%)")
     return 0
 
 

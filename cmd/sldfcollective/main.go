@@ -11,6 +11,14 @@
 //	sldfcollective -jobs 8 -cache .pts -csv collective.csv
 //	sldfcollective -remote host1:8437,host2:8437
 //	sldfcollective -faults 0.05 -faultseed 3      # re-routed around faults
+//
+// With -killchip the command switches to the churn panel: each case runs
+// the collective twice — undisturbed, and with the chip killed before step
+// -killstep (schedules recompute over the survivors) — and reports the
+// exact makespan cost of the in-flight death:
+//
+//	sldfcollective -systems sw-less,2d-mesh -killchip 1 -killstep 2
+//	sldfcollective -killchip 1 -churn "policy=retry"   # stranded packets retry
 package main
 
 import (
@@ -64,6 +72,9 @@ func run(args []string, w, errw io.Writer) error {
 	faults := fs.Float64("faults", 0, "fraction of eligible links to fail (schedules re-route around dead chips)")
 	faultRouters := fs.Float64("faultrouters", 0, "fraction of eligible routers to fail")
 	faultSeed := fs.Uint64("faultseed", 1, "fault-draw seed")
+	churn := fs.String("churn", "", "in-run fault timeline, e.g. links=0.02,seed=7,start=1000,end=5000,repair=2000,policy=retry (empty = no churn)")
+	killChip := fs.Int("killchip", -1, "chip to kill mid-collective; switches to the churn panel (negative = off)")
+	killStep := fs.Int("killstep", 1, "dependent step before which -killchip dies")
 	jobs := fs.Int("jobs", 1, "cases measured concurrently (results identical for any value)")
 	cacheDir := fs.String("cache", "", "directory for the on-disk result cache (empty = off)")
 	remoteAddrs := fs.String("remote", "", "comma-separated sldfd worker addresses; shards cases across them (results identical to local)")
@@ -81,9 +92,18 @@ func run(args []string, w, errw io.Writer) error {
 		return fmt.Errorf("-packet must be >= 1 (got %d)", *packet)
 	}
 
+	timeline, err := topology.ParseChurn(*churn)
+	if err != nil {
+		return err
+	}
+
 	var spec core.CollectiveFigureSpec
 	spec.Name = "collective"
 	spec.Title = fmt.Sprintf("Collective makespans, %d flits/chip payload", *volume)
+	var churnSpec core.ChurnFigureSpec
+	churnSpec.Name = "collective-churn"
+	churnSpec.Title = fmt.Sprintf("Mid-collective chip %d death before step %d, %d flits/chip payload",
+		*killChip, *killStep, *volume)
 	scheduleList := strings.Split(*schedules, ",")
 	for _, sch := range scheduleList {
 		if !slices.Contains(core.CollectiveSchedules(), sch) {
@@ -100,11 +120,20 @@ func run(args []string, w, errw io.Writer) error {
 		if *faults > 0 || *faultRouters > 0 {
 			cfg.Faults = faultSpec
 		}
+		cfg.Churn = timeline
 		for _, sch := range scheduleList {
-			spec.Cases = append(spec.Cases, core.CollectiveCaseSpec{
-				Cfg: cfg, Schedule: sch, Label: name, Volume: *volume,
-				PacketSize: int32(*packet), MaxStepCycles: *maxStep,
-			})
+			if *killChip >= 0 {
+				churnSpec.Cases = append(churnSpec.Cases, core.ChurnCaseSpec{
+					Cfg: cfg, Schedule: sch, Label: name, Volume: *volume,
+					PacketSize: int32(*packet), MaxStepCycles: *maxStep,
+					KillChip: int32(*killChip), KillStep: *killStep,
+				})
+			} else {
+				spec.Cases = append(spec.Cases, core.CollectiveCaseSpec{
+					Cfg: cfg, Schedule: sch, Label: name, Volume: *volume,
+					PacketSize: int32(*packet), MaxStepCycles: *maxStep,
+				})
+			}
 		}
 	}
 
@@ -131,6 +160,28 @@ func run(args []string, w, errw io.Writer) error {
 		fmt.Fprintf(errw, "backend: %s\n", backend.Name())
 	}
 
+	if *killChip >= 0 {
+		fig, err := core.RunChurnFigure(churnSpec, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\n\n", fig.Title)
+		fmt.Fprintf(w, "%-10s %-16s %8s %12s %12s %12s %8s %8s\n",
+			"system", "schedule", "steps", "baseline", "cycles", "cost", "dropped", "retried")
+		for _, r := range fig.Rows {
+			fmt.Fprintf(w, "%-10s %-16s %8d %12d %12d %12d %8d %8d\n",
+				r.System, r.Schedule, r.Steps, r.BaselineCycles, r.Cycles,
+				r.CostCycles, r.Dropped, r.Retried)
+		}
+		if err := writeCSV(w, *csvPath, fig.CSV()); err != nil {
+			return err
+		}
+		if diskCache != nil {
+			fmt.Fprintln(errw, diskCache.StatsLine())
+		}
+		return nil
+	}
+
 	fig, err := core.RunCollectiveFigure(spec, opts)
 	if err != nil {
 		return err
@@ -143,18 +194,30 @@ func run(args []string, w, errw io.Writer) error {
 		fmt.Fprintf(w, "%-10s %-16s %8d %12d %10d %14.2f\n",
 			r.System, r.Schedule, r.Steps, r.Cycles, r.Packets, r.Efficiency)
 	}
-	if *csvPath != "" {
-		csv := fig.CSV()
-		if *csvPath == "-" {
-			fmt.Fprint(w, "\n"+csv)
-		} else if err := os.WriteFile(*csvPath, []byte(csv), 0o644); err != nil {
-			return fmt.Errorf("write %s: %w", *csvPath, err)
-		}
+	if err := writeCSV(w, *csvPath, fig.CSV()); err != nil {
+		return err
 	}
 	if diskCache != nil {
 		fmt.Fprintln(errw, diskCache.StatsLine())
 	}
 	return nil
+}
+
+// writeCSV writes a rendered CSV panel to path ("-" = the report stream,
+// "" = discard).
+func writeCSV(w io.Writer, path, csv string) error {
+	switch path {
+	case "":
+		return nil
+	case "-":
+		fmt.Fprint(w, "\n"+csv)
+		return nil
+	default:
+		if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		return nil
+	}
 }
 
 // systemConfig maps a -systems name to its configuration: switch and

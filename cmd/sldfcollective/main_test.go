@@ -29,6 +29,8 @@ func TestRunFlagErrors(t *testing.T) {
 		{"-packet", "0"},
 		{"-no-such-flag"},
 		{"-jobs", "x"},
+		{"-churn", "links=nope"},
+		{"-churn", "policy=yolo"},
 	}
 	for _, args := range cases {
 		var buf strings.Builder
@@ -100,6 +102,51 @@ func TestRunPacketSizeThreadsThrough(t *testing.T) {
 	f4, f8 := strings.Split(strings.Split(p4, "\n")[1], ","), strings.Split(strings.Split(p8, "\n")[1], ",")
 	if f4[4] == f8[4] {
 		t.Errorf("packet count identical across -packet 4/8: %s vs %s", f4[4], f8[4])
+	}
+}
+
+// TestRunChurnPanel drives the -killchip path end to end: the panel must
+// report a finite, positive makespan for both the baseline and the
+// disturbed run, and a repeat invocation must be byte-identical (the
+// mid-AllReduce death cost is deterministic).
+func TestRunChurnPanel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	dir := t.TempDir()
+	csvFor := func(name string) string {
+		csv := filepath.Join(dir, name)
+		var buf strings.Builder
+		args := []string{"-systems", "2d-mesh", "-schedules", "ring",
+			"-dim", "2", "-volume", "64", "-killchip", "1", "-killstep", "2",
+			"-churn", "policy=retry", "-csv", csv}
+		if err := run(args, &buf, io.Discard); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		out := buf.String()
+		for _, want := range []string{"chip 1 death before step 2", "baseline", "cost", "2d-mesh"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("churn report missing %q in:\n%s", want, out)
+			}
+		}
+		data, err := os.ReadFile(csv)
+		if err != nil {
+			t.Fatalf("CSV not written: %v", err)
+		}
+		return string(data)
+	}
+	a := csvFor("a.csv")
+	lines := strings.Split(strings.TrimSpace(a), "\n")
+	if len(lines) != 2 { // header + 1 case
+		t.Fatalf("CSV has %d lines, want 2:\n%s", len(lines), a)
+	}
+	f := strings.Split(lines[1], ",")
+	// system,schedule,kill_chip,kill_step,steps,baseline_cycles,cycles,...
+	if f[5] == "0" || f[6] == "0" {
+		t.Fatalf("zero makespan in churn row: %s", lines[1])
+	}
+	if b := csvFor("b.csv"); a != b {
+		t.Fatalf("churn panel not reproducible:\n%s\nvs\n%s", a, b)
 	}
 }
 

@@ -12,6 +12,13 @@
 //	sldfsweep -systems sw-less,sw-less-mis -faults 0.05 -faultrouters 0.02 \
 //	          -faultseed 7 -from 0.1 -to 0.6 -step 0.1 > degraded.csv
 //
+// Example — live churn: 2% of channels die (and are repaired 2000 cycles
+// later) at seeded cycles mid-run, with stranded packets retried at their
+// source (deterministic for a given seed= in the spec):
+//
+//	sldfsweep -systems sw-less -churn "links=0.02,seed=7,start=1000,end=5000,repair=2000,policy=retry" \
+//	          -from 0.1 -to 0.6 -step 0.1 > churn.csv
+//
 // Example — the same sweep sharded across two sldfd worker daemons (the
 // CSV is bitwise identical to the local run, even if a worker dies
 // mid-sweep):
@@ -56,6 +63,7 @@ func main() {
 		faults       = flag.Float64("faults", 0, "fraction of channels to fail at build time (0 = pristine network)")
 		faultRouters = flag.Float64("faultrouters", 0, "fraction of redundant routers (port modules, spare cores) to fail")
 		faultSeed    = flag.Uint64("faultseed", 1, "fault-sampling seed (same spec + seed = same failures)")
+		churn        = flag.String("churn", "", "in-run fault timeline, e.g. links=0.02,routers=0.01,seed=7,start=1000,end=5000,repair=2000,policy=retry (empty = no churn)")
 	)
 	prof := profiling.Flags()
 	flag.Parse()
@@ -67,6 +75,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sldfsweep:", err)
 		}
 	}()
+
+	timeline, err := topology.ParseChurn(*churn)
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	rates := core.RateGrid(*from, *to, *step)
 	sp := core.SimParams{Warmup: *warmup, Measure: *measure,
@@ -104,6 +117,7 @@ func main() {
 		cfg.Seed = *seed
 		cfg.Workers = *workers
 		cfg.Faults = faultSpecFromFlags(*faults, *faultRouters, *faultSeed)
+		cfg.Churn = timeline
 		fmt.Fprintf(os.Stderr, "sweeping %s over %d rates...\n", name, len(rates))
 		s, err := core.SweepOpts(cfg, *pattern, rates, sp, opts)
 		if err != nil {

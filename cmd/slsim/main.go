@@ -5,6 +5,7 @@
 //	slsim -system sw-less -pattern uniform -rate 0.5
 //	slsim -system sw-based -pattern worst-case -mode valiant -rate 0.2
 //	slsim -system sw-less -scheme reduced -width 2 -rate 0.8 -warmup 2000 -measure 4000
+//	slsim -system sw-less -rate 0.4 -churn "links=0.02,seed=7,start=2000,end=8000,repair=2000,policy=retry"
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"sldf/internal/netsim"
 	"sldf/internal/profiling"
 	"sldf/internal/routing"
+	"sldf/internal/topology"
 )
 
 func main() {
@@ -33,6 +35,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		printKey = flag.Bool("printkey", false, "also print the point's content-addressed campaign job key (correlates with -cache stores and sldfd workers)")
+		churn    = flag.String("churn", "", "in-run fault timeline, e.g. links=0.02,seed=7,start=2000,end=8000,repair=2000,policy=retry (empty = no churn)")
 	)
 	prof := profiling.Flags()
 	flag.Parse()
@@ -46,6 +49,11 @@ func main() {
 	}()
 
 	cfg := core.Config{Seed: *seed, Workers: *workers, IntraWidth: int32(*width)}
+	timeline, err := topology.ParseChurn(*churn)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg.Churn = timeline
 	switch *mode {
 	case "minimal":
 		cfg.Mode = routing.Minimal
@@ -141,6 +149,10 @@ func main() {
 	fmt.Printf("accepted : %.4f flits/cycle/chip\n", res.Point.Throughput)
 	fmt.Printf("packets  : injected %d, delivered %d, in-flight %d\n",
 		st.InjectedPkts, st.DeliveredPkts, st.InFlightPkts)
+	if !timeline.Empty() {
+		fmt.Printf("churn    : dropped %d, retried %d, refused %d\n",
+			st.DroppedPkts, st.RetriedPkts, st.RefusedPkts)
+	}
 	fmt.Printf("hops/pkt : on-chip %.2f  short-reach %.2f  local %.2f  global %.2f\n",
 		st.MeanHops(netsim.HopOnChip), st.MeanHops(netsim.HopShortReach),
 		st.MeanHops(netsim.HopLongLocal), st.MeanHops(netsim.HopGlobal))

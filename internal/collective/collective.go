@@ -327,8 +327,23 @@ type Result struct {
 // step's Participants are charged, so schedules re-routed around dead
 // chips drain exactly.
 func Run(net *netsim.Network, s Schedule, packetSize int32, maxCyclesPerStep int64) (Result, error) {
+	return RunSteps(net, s, packetSize, maxCyclesPerStep, 0, len(s.Steps))
+}
+
+// RunSteps executes the half-open step range [lo, hi) of the schedule with
+// Run's exact-barrier semantics. It is the churn primitive: run steps
+// [0, k), kill a component, recompute a survivor schedule, and run that —
+// per-chip volumes and injector counts are re-read from the network on
+// every call, so the post-death range sees the degraded chip tables.
+func RunSteps(net *netsim.Network, s Schedule, packetSize int32, maxCyclesPerStep int64, lo, hi int) (Result, error) {
 	if maxCyclesPerStep <= 0 {
 		maxCyclesPerStep = 1 << 20
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s.Steps) {
+		hi = len(s.Steps)
 	}
 	counts := make([]int, net.NumChips())
 	for c := range counts {
@@ -336,7 +351,8 @@ func Run(net *netsim.Network, s Schedule, packetSize int32, maxCyclesPerStep int
 	}
 	var res Result
 	startDelivered := net.Snapshot().DeliveredPkts
-	for i, step := range s.Steps {
+	for i := lo; i < hi; i++ {
+		step := s.Steps[i]
 		vol := traffic.NewVolumePerChip(step.Pattern, step.Flits, packetSize, counts, step.Participants)
 		net.SetTraffic(vol, packetSize, netsim.DstSameIndex)
 		// InFlight first: it is O(shards), while Done scans the per-node

@@ -72,6 +72,16 @@ type Config struct {
 	// detours keep one VC per C-group traversal.
 	Faults topology.FaultSpec
 
+	// Churn schedules in-run component death and repair: a deterministic
+	// fault timeline both cycle engines apply mid-simulation, with routing
+	// recomputed and in-flight packets dropped or retried at every event
+	// batch (see topology.FaultTimeline). A non-empty timeline builds the
+	// system fault-grade (FaultVCs, fault-aware routing) from cycle zero so
+	// survivors always have a detour discipline; an armed zero-event
+	// timeline therefore simulates bitwise identically to the corresponding
+	// static-fault build.
+	Churn topology.FaultTimeline
+
 	Seed           uint64
 	Workers        int
 	WatchdogCycles int64
@@ -150,6 +160,9 @@ func (c Config) validate() error {
 		return fmt.Errorf("core: IntraWidth must be 1, 2 or 4 (got %d)", c.IntraWidth)
 	}
 	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if err := c.Churn.Validate(); err != nil {
 		return err
 	}
 	return nil

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sldf/internal/metrics"
+	"sldf/internal/netsim"
 	"sldf/internal/routing"
 	"sldf/internal/topology"
 )
@@ -111,6 +112,9 @@ func init() {
 	RegisterExperiment(ExperimentSpec{Name: "collective",
 		Title: "Fig. 4 — collective makespans: ring vs 2D vs hierarchical AllReduce and primitives",
 		Plan:  planCollective})
+	RegisterExperiment(ExperimentSpec{Name: "churn",
+		Title: "Churn — makespan cost of a chip death mid-AllReduce (no paper counterpart)",
+		Plan:  planChurn})
 }
 
 // planFig10 reproduces Fig. 10: (a,b) intra-C-group switch vs 2D-mesh under
@@ -376,6 +380,49 @@ func planCollective(scale Scale) ExperimentPlan {
 		}
 	}
 	return ExperimentPlan{Collectives: []CollectiveFigureSpec{main, wg}}
+}
+
+// planChurn is the live-churn experiment (no counterpart in the paper,
+// which simulates static networks): the exact makespan cost of one chip
+// dying mid-flight during a ring AllReduce, on each of the four system
+// kinds, under both stranded-packet policies on the redundant topologies.
+// Every case runs the collective twice — undisturbed and with the death
+// injected before step KillStep, after which the survivors re-close the
+// ring and finish — so the reported cost is exact, not modeled.
+func planChurn(scale Scale) ExperimentPlan {
+	volume := int64(128)
+	if scale == ScalePaper {
+		volume = 1024
+	}
+	armed := func(cfg Config, policy netsim.DropPolicy) Config {
+		cfg.Churn.Armed = true
+		cfg.Churn.Policy = policy
+		return cfg
+	}
+	fig := ChurnFigureSpec{Name: "figchurn",
+		Title: "Churn resilience: chip death mid-AllReduce"}
+	swb, swl, _ := radix16Trio(true)
+	for _, policy := range []netsim.DropPolicy{netsim.DropInFlight, netsim.RetrySource} {
+		suffix := "-" + policy.String()
+		for _, c := range []struct {
+			cfg   Config
+			label string
+		}{
+			{Config{Kind: MeshCGroup, ChipletDim: 4, NoCDim: 2, Seed: seed}, "2d-mesh" + suffix},
+			{swb, "sw-based" + suffix},
+			{swl, "sw-less" + suffix},
+		} {
+			fig.Cases = append(fig.Cases, ChurnCaseSpec{
+				Cfg: armed(c.cfg, policy), Schedule: "ring", Label: c.label,
+				Volume: volume, KillChip: 1, KillStep: 2})
+		}
+	}
+	// The single switch has no redundancy: only its terminals can die, and
+	// a dead chip's packets are unroutable — measure the drop policy only.
+	fig.Cases = append(fig.Cases, ChurnCaseSpec{
+		Cfg:      armed(Config{Kind: SingleSwitch, Terminals: 16, Seed: seed}, netsim.DropInFlight),
+		Schedule: "ring", Label: "switch-drop", Volume: volume, KillChip: 1, KillStep: 2})
+	return ExperimentPlan{Churn: []ChurnFigureSpec{fig}}
 }
 
 // planResilience is the degraded-topology experiment (no counterpart in the

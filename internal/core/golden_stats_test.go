@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"sldf/internal/netsim"
 	"sldf/internal/routing"
 	"sldf/internal/topology"
 )
@@ -35,6 +36,13 @@ func goldenCases() []struct {
 	faulted.Faults = topology.FaultSpec{Seed: 4, LinkFraction: 0.08, RouterFraction: 0.04}
 	faultedMis := faulted
 	faultedMis.Mode = routing.Valiant
+	// Churn fixtures lock the full drop/retry accounting of a seeded fault
+	// timeline — deaths, repairs, mid-run re-routes — not just steady-state
+	// counters.
+	churned := swl
+	churned.Churn = churnWindow(0.04, 0.02, netsim.RetrySource)
+	meshChurned := Config{Kind: MeshCGroup, ChipletDim: 4, NoCDim: 2, Seed: 7}
+	meshChurned.Churn = churnWindow(0.05, 0.02, netsim.DropInFlight)
 	return []struct {
 		name string
 		cfg  Config
@@ -45,6 +53,8 @@ func goldenCases() []struct {
 		{"sw-less", swl},
 		{"sw-less-faulted", faulted},
 		{"sw-less-faulted-mis", faultedMis},
+		{"sw-less-churn", churned},
+		{"mesh-churn", meshChurned},
 	}
 }
 

@@ -76,6 +76,7 @@ type ExperimentPlan struct {
 	Energy      []EnergyFigureSpec
 	Resilience  []ResilienceFigureSpec
 	Collectives []CollectiveFigureSpec
+	Churn       []ChurnFigureSpec
 }
 
 // ExperimentSpec is one registered experiment: a name, and the plan it
@@ -140,6 +141,7 @@ type ExperimentResult struct {
 	Figures     []metrics.Figure
 	Energy      []EnergyFigure
 	Collectives []metrics.CollectiveFigure
+	Churn       []metrics.ChurnFigure
 }
 
 // RunExperiment executes a registered experiment at the given scale: the
@@ -178,6 +180,13 @@ func RunExperiment(spec ExperimentSpec, scale Scale, opts RunOptions) (Experimen
 			return res, err
 		}
 		res.Collectives = append(res.Collectives, fig)
+	}
+	for _, cs := range plan.Churn {
+		fig, err := RunChurnFigure(cs, opts)
+		if err != nil {
+			return res, err
+		}
+		res.Churn = append(res.Churn, fig)
 	}
 	return res, nil
 }

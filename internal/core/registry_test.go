@@ -11,7 +11,7 @@ import (
 // refactor of the registry cannot silently drop a curve.
 
 func TestRegistryEnumeratesPaperFigures(t *testing.T) {
-	want := []string{"10", "11", "12", "13", "14", "resilience", "15", "collective"}
+	want := []string{"10", "11", "12", "13", "14", "resilience", "15", "collective", "churn"}
 	got := ExperimentNames()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %v, want %v", got, want)

@@ -106,6 +106,11 @@ func (c Config) cacheID() string {
 			c.Faults.Seed, c.Faults.LinkFraction, c.Faults.RouterFraction,
 			c.Faults.Links, c.Faults.Routers)
 	}
+	// The churn component is appended only when a timeline is armed,
+	// keeping churn-free keys byte-compatible with existing caches.
+	if ch := c.Churn.ChurnString(); ch != "" {
+		id += " churn={" + ch + "}"
+	}
 	return id
 }
 

@@ -29,8 +29,21 @@ type System struct {
 
 	// aliveChips marks chips with a surviving terminal; nil when every
 	// chip is alive. MeasureLoad uses it to silence traffic aimed at dead
-	// chips on degraded builds.
+	// chips on degraded builds. Churn-armed systems always allocate it (the
+	// wrapper draws identically when every chip is alive) and update it in
+	// place at every event batch, so patterns capturing the slice see deaths
+	// and repairs immediately.
 	aliveChips []bool
+
+	// churnDomain, installBase and reroute are set by faulted builds:
+	// the topology's fault domain (timeline victim sampling), a hook
+	// reinstalling the build-time routing (Reset after a mid-run routing
+	// swap), and the mid-run recompute — rebuild fault-aware routing from
+	// the network's current Disabled state, install it, and retire in-flight
+	// packets the new tables cannot carry.
+	churnDomain topology.FaultDomain
+	installBase func()
+	reroute     func() error
 
 	// rateGen is the reusable injection generator: MeasureLoad reinitializes
 	// it in place so a sweep's measurement loop allocates nothing per point.
@@ -51,7 +64,10 @@ func Build(cfg Config) (*System, error) {
 	}
 	sys := &System{Cfg: cfg}
 
-	faulted := !cfg.Faults.Empty()
+	// A non-empty churn timeline also forces the fault-grade build: mid-run
+	// deaths need the deep VC ladder and a routing discipline that can
+	// recompute around holes from the very first event.
+	faulted := !cfg.Faults.Empty() || !cfg.Churn.Empty()
 
 	switch cfg.Kind {
 	case SingleSwitch:
@@ -71,6 +87,20 @@ func Build(cfg Config) (*System, error) {
 				return nil, err
 			}
 			s.Net.SetRoute(route)
+			sys.churnDomain = s.FaultDomain()
+			sys.installBase = func() { s.Net.SetRoute(route) }
+			sys.reroute = func() error {
+				// The topology has no redundancy, so the recompute is pure
+				// validation: a dead switch (or a dead terminal of a chip
+				// that still has one) is a partition. Stranded packets were
+				// already swept by the churn batch.
+				r, err := routing.NewFaultSwitchRoute(s)
+				if err != nil {
+					return err
+				}
+				s.Net.SetRoute(r)
+				return nil
+			}
 		} else {
 			s.Net.SetRoute(s.Route())
 		}
@@ -88,12 +118,23 @@ func Build(cfg Config) (*System, error) {
 				g.Net.Close()
 				return nil, err
 			}
-			route, err := routing.NewFaultMeshRoute(g)
+			fm, err := routing.NewFaultMeshRouter(g)
 			if err != nil {
 				g.Net.Close()
 				return nil, err
 			}
-			g.Net.SetRoute(route)
+			g.Net.SetRoute(fm.Func())
+			sys.churnDomain = g.FaultDomain()
+			sys.installBase = func() { g.Net.SetRoute(fm.Func()) }
+			sys.reroute = func() error {
+				nfm, err := routing.NewFaultMeshRouter(g)
+				if err != nil {
+					return err
+				}
+				g.Net.SetRoute(nfm.Func())
+				g.Net.SanitizeInFlight(nfm.Sanitize())
+				return nil
+			}
 		} else {
 			g.Net.SetRoute(g.RouteXY())
 		}
@@ -121,6 +162,18 @@ func Build(cfg Config) (*System, error) {
 				return nil, err
 			}
 			df.Net.SetRoute(fd.Func())
+			mode := cfg.Mode
+			sys.churnDomain = df.FaultDomain()
+			sys.installBase = func() { df.Net.SetRoute(fd.Func()) }
+			sys.reroute = func() error {
+				nfd, err := routing.NewFaultDragonflyRoute(df, mode)
+				if err != nil {
+					return err
+				}
+				df.Net.SetRoute(nfd.Func())
+				df.Net.SanitizeInFlight(nfd.Sanitize())
+				return nil
+			}
 		} else {
 			route, err := routing.DragonflyRoute(df, cfg.Mode)
 			if err != nil {
@@ -162,6 +215,20 @@ func Build(cfg Config) (*System, error) {
 				return nil, err
 			}
 			fr.Install(s.Net)
+			// Capture the effective scheme/mode (ReducedVC may have been
+			// forced above) so mid-run recomputes rebuild the same discipline.
+			scheme, mode := cfg.Scheme, cfg.Mode
+			sys.churnDomain = s.FaultDomain()
+			sys.installBase = func() { fr.Install(s.Net) }
+			sys.reroute = func() error {
+				nfr, err := routing.NewFaultSLDFRouter(s, scheme, mode)
+				if err != nil {
+					return err
+				}
+				nfr.Install(s.Net)
+				s.Net.SanitizeInFlight(nfr.Sanitize())
+				return nil
+			}
 		} else {
 			sr, err := routing.NewSLDFRouter(s, cfg.Scheme, cfg.Mode)
 			if err != nil {
@@ -200,7 +267,67 @@ func Build(cfg Config) (*System, error) {
 			sys.aliveChips[c] = sys.Net.ChipAlive(c)
 		}
 	}
+	if !cfg.Churn.Empty() {
+		if err := sys.armChurn(); err != nil {
+			sys.Net.Close()
+			return nil, err
+		}
+	}
 	return sys, nil
+}
+
+// armChurn resolves the configured timeline against the topology's fault
+// domain and installs it on the network, with an apply hook that rebuilds
+// fault-aware routing, retires packets the new tables cannot carry, and
+// refreshes the chip-liveness table after every event batch.
+func (sys *System) armChurn() error {
+	if sys.aliveChips == nil {
+		// Allocate up front even when every chip is alive: FilterDead draws
+		// identically through an all-alive table, and mid-run deaths then
+		// only flip bits in place — patterns and schedules capturing the
+		// slice never need re-wrapping.
+		sys.aliveChips = make([]bool, sys.Chips)
+		sys.refreshAliveChips()
+	}
+	events := sys.Cfg.Churn.Resolve(sys.churnDomain)
+	return sys.Net.ScheduleChurn(events, sys.Cfg.Churn.Policy, func(*netsim.Network) error {
+		if err := sys.reroute(); err != nil {
+			return err
+		}
+		sys.refreshAliveChips()
+		return nil
+	})
+}
+
+// refreshAliveChips re-reads chip liveness from the network in place,
+// preserving the slice identity that installed traffic filters captured.
+func (sys *System) refreshAliveChips() {
+	for c := range sys.aliveChips {
+		sys.aliveChips[c] = sys.Net.ChipAlive(int32(c))
+	}
+}
+
+// ApplyChipKill immediately kills every surviving terminal router of the
+// chip through the armed fault timeline — the programmatic "chip dies now"
+// primitive behind mid-collective death experiments. Routing recomputes and
+// stranded packets are dropped or retried per the timeline's policy before
+// the call returns. Killing an already-dead chip is a no-op.
+func (s *System) ApplyChipKill(chip int32) error {
+	if !s.Net.ChurnArmed() {
+		return fmt.Errorf("core: ApplyChipKill(%d) on %s without an armed churn timeline (set Cfg.Churn.Armed)", chip, s.Label)
+	}
+	if chip < 0 || int(chip) >= s.Chips {
+		return fmt.Errorf("core: ApplyChipKill: chip %d out of range [0, %d)", chip, s.Chips)
+	}
+	nodes := s.Net.ChipNodes[chip]
+	if len(nodes) == 0 {
+		return nil
+	}
+	events := make([]netsim.TimedFault, 0, len(nodes))
+	for _, id := range nodes {
+		events = append(events, netsim.RouterFault(s.Net.Cycle, id, false))
+	}
+	return s.Net.InjectChurn(events)
 }
 
 // applyFaultSpec validates spec, resolves it against the topology's fault
@@ -230,8 +357,19 @@ func (s *System) Close() { s.Net.Close() }
 // credit buffers, RNG streams re-derived from the seed — so one
 // construction can serve every load point of a series. A measurement on a
 // reset system is bitwise identical to one on a fresh Build of the same
-// configuration.
-func (s *System) Reset() { s.Net.Reset() }
+// configuration. On churn-armed systems the network restores its build-time
+// fault state and rewinds the event cursor; the build-time routing tables
+// are reinstalled and chip liveness refreshed here, so a reset mid-churn
+// system equals a fresh build with the same timeline.
+func (s *System) Reset() {
+	s.Net.Reset()
+	if s.Net.ChurnArmed() {
+		if s.installBase != nil {
+			s.installBase()
+		}
+		s.refreshAliveChips()
+	}
+}
 
 // Result is one measured load point with its raw statistics and the
 // Table II energy pricing of the observed hop mix.

@@ -142,6 +142,54 @@ func (f CollectiveFigure) CSV() string {
 	return b.String()
 }
 
+// ChurnRow is one measured churn-resilience case: a collective run to
+// completion twice on a system — undisturbed, and with a chip killed
+// mid-flight at a fixed step — so the death's makespan cost is exact.
+type ChurnRow struct {
+	System   string // system label
+	Schedule string // schedule name as requested
+	KillChip int32  // chip killed mid-collective (-1: no case measured)
+	KillStep int    // dependent step before which the chip dies
+	Steps    int    // dependent steps executed in the disturbed run
+
+	BaselineCycles int64 // undisturbed end-to-end makespan
+	Cycles         int64 // makespan with the mid-flight death
+	CostCycles     int64 // Cycles - BaselineCycles: what the death cost
+
+	PreCycles  int64   // cycles spent before the death
+	PostCycles int64   // cycles to finish on the survivor schedule
+	Packets    int64   // packets delivered in the disturbed run
+	Dropped    int64   // packets the death stranded and dropped
+	Retried    int64   // packets the death stranded and re-injected
+	StepCycles []int64 // exact per-step makespans of the disturbed run
+}
+
+// ChurnFigure is one churn-resilience panel: the cost of in-flight
+// component death across systems and schedules.
+type ChurnFigure struct {
+	Name  string
+	Title string
+	Rows  []ChurnRow
+}
+
+// CSV renders the panel, one row per (system, schedule, kill) case; the
+// step_cycles column joins the disturbed run's per-step makespans with ';'.
+func (f ChurnFigure) CSV() string {
+	var b strings.Builder
+	b.WriteString("system,schedule,kill_chip,kill_step,steps,baseline_cycles,cycles,cost_cycles,pre_cycles,post_cycles,packets,dropped,retried,step_cycles\n")
+	for _, r := range f.Rows {
+		steps := make([]string, len(r.StepCycles))
+		for i, c := range r.StepCycles {
+			steps[i] = fmt.Sprintf("%d", c)
+		}
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s\n",
+			r.System, r.Schedule, r.KillChip, r.KillStep, r.Steps,
+			r.BaselineCycles, r.Cycles, r.CostCycles, r.PreCycles, r.PostCycles,
+			r.Packets, r.Dropped, r.Retried, strings.Join(steps, ";"))
+	}
+	return b.String()
+}
+
 // CSV renders the figure as rate-indexed CSV with one latency and one
 // throughput column per series.
 func (f Figure) CSV() string {

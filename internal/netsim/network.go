@@ -90,6 +90,11 @@ type Network struct {
 	// allocate phases of every cycle. Adaptive routing uses it to snapshot
 	// congestion state that route functions may then read without races.
 	preAllocate func(*Network)
+
+	// churn is the armed fault timeline (nil on static networks — the nil
+	// check is Step's only churn cost, preserving bitwise identity with
+	// pre-churn builds).
+	churn *churnState
 }
 
 // SetPreAllocate installs the per-cycle serial hook (may be nil).
@@ -210,6 +215,14 @@ func (n *Network) generate(shard int, now int64, act *shardActive) {
 // admit queues one new packet from r's terminal toward chip dst.
 func (n *Network) admit(shard int, r *Router, dst int32, now int64, act *shardActive) {
 	ss := &n.shard[shard]
+	if len(n.ChipNodes[dst]) == 0 {
+		// Churn killed the destination chip's last terminal under a
+		// generator that still targets it: refuse the packet at the source.
+		// Never reached on static networks (dead chips are filtered out of
+		// traffic patterns at build time).
+		ss.refusedPkts++
+		return
+	}
 	nodeIdx := int(r.Local)
 	ref, p := n.allocPacket(shard)
 	ss.pktSeq++
@@ -347,6 +360,9 @@ func (n *Network) initPhases() {
 // The active-set engine runs both phases over per-shard worklists; the
 // reference engine walks every link and router.
 func (n *Network) Step() {
+	if n.churn != nil {
+		n.applyDueChurn()
+	}
 	drain, alloc := n.drainActiveFn, n.allocActiveFn
 	if n.engineKind != EngineActiveSet {
 		drain, alloc = n.drainRefFn, n.allocRefFn
@@ -373,6 +389,9 @@ func (n *Network) Step() {
 func (n *Network) Run(cycles int64) error {
 	for i := int64(0); i < cycles; i++ {
 		n.Step()
+		if err := n.ChurnErr(); err != nil {
+			return err
+		}
 		if n.idleCycles >= n.watchdogLimit {
 			n.watchdogTrips++
 			n.idleCycles = 0
@@ -412,6 +431,9 @@ func (n *Network) RunUntil(done func(*Network) bool, maxCycles int64) (int64, er
 				ErrCycleLimit, maxCycles, n.InFlight())
 		}
 		n.Step()
+		if err := n.ChurnErr(); err != nil {
+			return ran + 1, err
+		}
 		if n.idleCycles >= n.watchdogLimit {
 			n.watchdogTrips++
 			n.idleCycles = 0
@@ -432,6 +454,9 @@ func (n *Network) Drain(maxCycles int64) (int64, error) {
 			return i, nil
 		}
 		n.Step()
+		if err := n.ChurnErr(); err != nil {
+			return i, err
+		}
 		if n.idleCycles >= n.watchdogLimit {
 			n.watchdogTrips++
 			n.idleCycles = 0
@@ -446,14 +471,15 @@ func (n *Network) Drain(maxCycles int64) (int64, error) {
 	return maxCycles, nil
 }
 
-// InFlight returns the number of packets injected but not yet delivered.
+// InFlight returns the number of packets injected but not yet delivered or
+// dropped by churn.
 func (n *Network) InFlight() int64 {
-	var inj, del int64
+	var inj, done int64
 	for s := range n.shard {
 		inj += n.shard[s].injectedPkts
-		del += n.shard[s].deliveredPkts
+		done += n.shard[s].deliveredPkts + n.shard[s].droppedPkts
 	}
-	return inj - del
+	return inj - done
 }
 
 // Snapshot merges per-shard counters into a Stats value. Cycles is the
@@ -471,6 +497,9 @@ func (n *Network) Snapshot() Stats {
 		ss := &n.shard[s]
 		st.InjectedPkts += ss.injectedPkts
 		st.DeliveredPkts += ss.deliveredPkts
+		st.DroppedPkts += ss.droppedPkts
+		st.RetriedPkts += ss.retriedPkts
+		st.RefusedPkts += ss.refusedPkts
 		st.WindowFlits += ss.winFlits
 		st.WindowPkts += ss.winPkts
 		st.NetLatencySum += ss.winNetLatSum
@@ -479,7 +508,7 @@ func (n *Network) Snapshot() Stats {
 		}
 		st.Latency.Merge(&ss.lat)
 	}
-	st.InFlightPkts = st.InjectedPkts - st.DeliveredPkts
+	st.InFlightPkts = st.InjectedPkts - st.DeliveredPkts - st.DroppedPkts
 	return st
 }
 

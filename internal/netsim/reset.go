@@ -72,6 +72,13 @@ func (n *Network) Reset() {
 	n.measEnd = 0
 	n.idleCycles = 0
 	n.watchdogTrips = 0
+	// An armed fault timeline rewinds with the network: the build-time
+	// fault state is restored and the event cursor returns to the first
+	// event, so a reset mid-churn network is bitwise identical to a fresh
+	// build with the same timeline.
+	if n.churn != nil {
+		n.resetChurn()
+	}
 }
 
 // clear empties the VC queue and invalidates its cached routing decision,

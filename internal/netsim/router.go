@@ -414,7 +414,16 @@ func (r *Router) allocate(net *Network, now int64, shard int, act *shardActive) 
 				}
 				continue
 			}
-			if op.Link != nil && op.Credits[outVC] < p.Size {
+			if op.Link != nil && (op.Credits[outVC] < p.Size ||
+				(net.churn != nil && op.Link.Disabled)) {
+				// No credits — or, under an armed fault timeline, a dead
+				// output link: a disabled link offers no bandwidth, so the
+				// packet waits in place until a repair (or a route recompute
+				// after the next churn batch) unblocks it. Without this check
+				// the two engines diverge: the reference engine's drain lists
+				// skip disabled links (blackholing the packet) while the
+				// active-set engine would stage the dead link and deliver
+				// through the corpse.
 				otherwiseBlocked = true
 				continue
 			}
@@ -449,8 +458,11 @@ func (r *Router) allocate(net *Network, now int64, shard int, act *shardActive) 
 			p.InjectedAt = now
 		}
 
-		// Return credits upstream for the buffer space just freed.
-		if ip.Link != nil {
+		// Return credits upstream for the buffer space just freed. A dead
+		// feeding link gets no credit (its books are rebuilt on repair);
+		// on static networks a disabled link never delivers a packet, so
+		// the guard never fires.
+		if ip.Link != nil && !ip.Link.Disabled {
 			ip.Link.credit.push(timedCredit{
 				at:    now + int64(ip.Link.Delay),
 				flits: p.Size,

@@ -105,6 +105,9 @@ func (h *LatencyHist) Quantile(q float64) int64 {
 type shardStats struct {
 	injectedPkts  int64 // all time
 	deliveredPkts int64 // all time
+	droppedPkts   int64 // stranded by churn and discarded
+	retriedPkts   int64 // stranded by churn and re-enqueued at the source
+	refusedPkts   int64 // injection attempts refused (destination chip dead)
 	winFlits      int64 // flits ejected during the measurement window
 	winPkts       int64 // packets created in window and delivered
 	winHops       [NumHopClasses]int64
@@ -123,6 +126,15 @@ type Stats struct {
 	InjectedPkts  int64 // since reset (all time)
 	DeliveredPkts int64 // since reset (all time)
 	InFlightPkts  int64
+	// Churn accounting (zero — and omitted from JSON, keeping static-build
+	// fixtures byte-stable — unless a fault timeline stranded packets).
+	// DroppedPkts were discarded in flight; RetriedPkts were re-enqueued at
+	// their source terminal (RetrySource policy; a packet retried k times
+	// counts k); RefusedPkts are injection attempts refused because the
+	// destination chip had lost its last terminal.
+	DroppedPkts   int64 `json:",omitempty"`
+	RetriedPkts   int64 `json:",omitempty"`
+	RefusedPkts   int64 `json:",omitempty"`
 	WindowFlits   int64 // flits delivered during the window
 	WindowPkts    int64 // packets created in window and delivered
 	Hops          [NumHopClasses]int64

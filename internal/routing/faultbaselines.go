@@ -16,6 +16,23 @@ import (
 // Per-packet scratch: Aux2 is -1 until first touch, then bit 1 tracks the
 // up*/down* descending phase.
 func NewFaultMeshRoute(g *topology.MeshCGroup) (netsim.RouteFunc, error) {
+	fm, err := NewFaultMeshRouter(g)
+	if err != nil {
+		return nil, err
+	}
+	return fm.Func(), nil
+}
+
+// FaultMeshRouter is the handle form of NewFaultMeshRoute, exposing the
+// mid-run sanitize predicate alongside the routing function.
+type FaultMeshRouter struct {
+	local []int32
+	rg    *region
+}
+
+// NewFaultMeshRouter builds fault-aware up*/down* routing for a standalone
+// C-group mesh; see NewFaultMeshRoute.
+func NewFaultMeshRouter(g *topology.MeshCGroup) (*FaultMeshRouter, error) {
 	local := make([]int32, len(g.Net.Routers))
 	for i := range local {
 		local[i] = -1
@@ -30,6 +47,12 @@ func NewFaultMeshRoute(g *topology.MeshCGroup) (netsim.RouteFunc, error) {
 	if !ok {
 		return nil, &PartitionError{Where: "mesh"}
 	}
+	return &FaultMeshRouter{local: local, rg: rg}, nil
+}
+
+// Func returns the netsim routing function.
+func (fm *FaultMeshRouter) Func() netsim.RouteFunc {
+	local, rg := fm.local, fm.rg
 	return func(net *netsim.Network, r *netsim.Router, p *netsim.Packet) (int, uint8) {
 		if r.ID == p.DstNode {
 			return int(r.EjectOut), 0
@@ -42,7 +65,26 @@ func NewFaultMeshRoute(g *topology.MeshCGroup) (netsim.RouteFunc, error) {
 			p.Aux2 |= 2
 		}
 		return int(out), 0
-	}, nil
+	}
+}
+
+// Sanitize returns the keep-predicate for netsim.SanitizeInFlight after a
+// mid-run recompute: a packet already in the descending up*/down* phase
+// whose new tables offer no legal descending path to its destination is
+// retired (continuing it would need a forbidden down→up transition).
+func (fm *FaultMeshRouter) Sanitize() func(r *netsim.Router, p *netsim.Packet) bool {
+	local, rg := fm.local, fm.rg
+	return func(r *netsim.Router, p *netsim.Packet) bool {
+		if r.ID == p.DstNode {
+			return true
+		}
+		lu, lt := local[r.ID], local[p.DstNode]
+		if lu < 0 || lt < 0 {
+			return false
+		}
+		out, _ := rg.step(lu, lt, p.Aux2 >= 0 && p.Aux2&2 != 0)
+		return out >= 0
+	}
 }
 
 // NewFaultSwitchRoute validates a single-switch system against its fault
@@ -242,5 +284,36 @@ func (fd *FaultDragonflyRouter) Func() netsim.RouteFunc {
 		}
 		here := fd.dist[cur*n+dst]
 		return int(fd.next[cur*n+dst]), uint8(total-here) + 1
+	}
+}
+
+// Sanitize returns the keep-predicate for netsim.SanitizeInFlight after a
+// mid-run recompute. The router keeps no per-packet scratch, but its VC
+// derivation assumes every hop moved one step closer to the destination —
+// true on the path the tables produced, not necessarily for a packet that
+// followed the previous tables. Packets now farther from their destination
+// than their source is (the subtraction would wrap) or whose remaining hop
+// VCs would fall below their current VC (breaking the increasing-VC
+// deadlock argument) are retired.
+func (fd *FaultDragonflyRouter) Sanitize() func(r *netsim.Router, p *netsim.Packet) bool {
+	a, n := fd.a, fd.n
+	return func(r *netsim.Router, p *netsim.Packet) bool {
+		if r.Kind == netsim.KindNIC {
+			return true // uplink on VC 0 or ejection, valid under any tables
+		}
+		wd, sd, _ := fd.df.Params.ChipLocation(p.DstChip)
+		dst := int32(wd)*a + int32(sd)
+		ws, ss, _ := fd.df.Params.ChipLocation(p.SrcChip)
+		src := int32(ws)*a + int32(ss)
+		total := int32(fd.dist[src*n+dst])
+		cur := r.WGroup*a + r.CGroup
+		here := int32(fd.dist[cur*n+dst])
+		if here > total {
+			return false
+		}
+		if cur == dst {
+			return int32(p.VC) <= total // terminal downlink uses VC total
+		}
+		return total-here+1 >= int32(p.VC)
 	}
 }

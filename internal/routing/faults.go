@@ -120,6 +120,13 @@ type FaultSLDFRouter struct {
 	// minimal routing when a source C-group has none.
 	admissible  []bool
 	detourCount []int32
+	// distCG[u*numCG+d] is the C-group-graph distance u→d (cgUnreached when
+	// either side is inactive); distToW/nextToW[u*groups+w] give the
+	// distance and next C-group toward W-group w (Valiant only). Kept for
+	// Sanitize, which must re-budget packets routed under older tables.
+	distCG  []int32
+	distToW []int32
+	nextToW []int32
 	// vcs is the worst-case C-group traversal count (the VC requirement).
 	vcs uint8
 }
@@ -229,8 +236,10 @@ func NewFaultSLDFRouter(s *topology.SLDF, scheme Scheme, mode Mode) (*FaultSLDFR
 	// be computed below.
 	valiant := mode == Valiant && g > 2
 	fr.exitCG = make([]netsim.NodeID, numCG*numCG)
+	fr.distCG = make([]int32, numCG*numCG)
 	for i := range fr.exitCG {
 		fr.exitCG[i] = -1
+		fr.distCG[i] = cgUnreached
 	}
 	dist := make([]int32, numCG)
 	var eccPerW []int32
@@ -245,9 +254,13 @@ func NewFaultSLDFRouter(s *topology.SLDF, scheme Scheme, mode Mode) (*FaultSLDFR
 		bfsCG(adj, []int32{d}, dist)
 		for u := int32(0); u < numCG; u++ {
 			fr.exitCG[u*numCG+d] = -1
+			if u == d && active[u] {
+				fr.distCG[u*numCG+d] = 0
+			}
 			if u == d || !active[u] {
 				continue
 			}
+			fr.distCG[u*numCG+d] = dist[u]
 			if dist[u] >= cgUnreached {
 				return nil, &PartitionError{Where: "C-group graph"}
 			}
@@ -282,8 +295,17 @@ func NewFaultSLDFRouter(s *topology.SLDF, scheme Scheme, mode Mode) (*FaultSLDFR
 	}
 	if valiant {
 		fr.exitToW = make([]netsim.NodeID, numCG*g)
-		nextToW := make([]int32, numCG*g) // next C-group on the path to W w
-		distToW := make([]int32, numCG*g)
+		fr.nextToW = make([]int32, numCG*g) // next C-group on the path to W w
+		fr.distToW = make([]int32, numCG*g)
+		for i := range fr.exitToW {
+			// Initialized for every W-group, active or not: a stale packet
+			// scratch naming an inactive intermediate must resolve to "no
+			// exit", never to router 0.
+			fr.exitToW[i] = -1
+			fr.nextToW[i] = -1
+			fr.distToW[i] = cgUnreached
+		}
+		nextToW, distToW := fr.nextToW, fr.distToW
 		sources := make([]int32, 0, ab)
 		for w := int32(0); w < g; w++ {
 			if !fr.wActive[w] {
@@ -295,8 +317,6 @@ func NewFaultSLDFRouter(s *topology.SLDF, scheme Scheme, mode Mode) (*FaultSLDFR
 			}
 			bfsCG(adj, sources, dist)
 			for u := int32(0); u < numCG; u++ {
-				fr.exitToW[u*g+w] = -1
-				nextToW[u*g+w] = -1
 				distToW[u*g+w] = dist[u]
 				if dist[u] == 0 || !active[u] {
 					continue
@@ -554,6 +574,113 @@ func (fr *FaultSLDFRouter) pickValiant(r *netsim.Router, cg, ws, wd int32) int32
 		if aux != ws && aux != wd && fr.admissible[cg*fr.groups+aux] {
 			return aux
 		}
+	}
+}
+
+// Sanitize returns the keep-predicate for netsim.SanitizeInFlight after
+// this router replaced an older one mid-run (live churn). A surviving
+// packet's scratch state was written under the previous component set, so
+// the predicate repairs what it can and retires what it cannot:
+//
+//   - a pending Valiant intermediate (Aux) pointing at a W-group the new
+//     tables cannot reach is cleared — the packet continues minimally;
+//   - a packet stranded outside every routable region (e.g. inside a port
+//     module whose SR stub died) is dropped;
+//   - a packet whose remaining C-group traversals no longer fit the VC
+//     budget from its current VC is dropped — continuing it would either
+//     overflow the provisioned VCs or break the strictly-increasing-VC
+//     deadlock invariant;
+//   - a descending up*/down* packet with no legal descending path to its
+//     (possibly re-chosen) region target under the new labels is dropped.
+//
+// The predicate mirrors Func's per-visit reads without advancing any state
+// other than these repairs, so a kept packet is guaranteed to route on its
+// next allocation.
+func (fr *FaultSLDFRouter) Sanitize() func(r *netsim.Router, p *netsim.Packet) bool {
+	numCG := int32(len(fr.regions))
+	net := fr.s.Net
+	return func(r *netsim.Router, p *netsim.Packet) bool {
+		if fr.local[r.ID] < 0 || fr.regions[r.WGroup*fr.ab+r.CGroup] == nil {
+			return false // current position is outside every routable region
+		}
+		cg := r.WGroup*fr.ab + r.CGroup
+		d := net.Router(p.DstNode)
+		dstCG := d.WGroup*fr.ab + d.CGroup
+		if fr.local[p.DstNode] < 0 {
+			return false
+		}
+
+		// Repair the Valiant scratch: clear intermediates the new tables
+		// cannot serve (the packet then heads straight for its destination).
+		aux := p.Aux
+		if aux >= 0 {
+			if r.WGroup == aux {
+				aux = -1 // Func clears this on arrival anyway
+			} else if fr.exitToW == nil || aux >= fr.groups || !fr.wActive[aux] ||
+				fr.distToW[cg*fr.groups+aux] >= cgUnreached {
+				aux = -1
+			}
+			p.Aux = aux
+		}
+
+		// Re-budget: the VC indices still ahead of the packet are
+		// phi..phi+t, where phi is its effective current traversal index
+		// and t the remaining C-group crossings under the new tables.
+		phi := int32(p.Phase)
+		bump := r.Kind == netsim.KindPort && p.Aux2 >= 0 && p.VC == p.Phase+1
+		if bump {
+			phi++
+		}
+		var t int32
+		if aux >= 0 {
+			e := cg // entry C-group of the detour W-group
+			for e/fr.ab != aux {
+				e = fr.nextToW[e*fr.groups+aux]
+				if e < 0 {
+					return false
+				}
+			}
+			dcd := fr.distCG[e*numCG+dstCG]
+			if dcd >= cgUnreached {
+				return false
+			}
+			t = fr.distToW[cg*fr.groups+aux] + dcd
+		} else {
+			t = fr.distCG[cg*numCG+dstCG]
+			if t >= cgUnreached {
+				return false
+			}
+		}
+		if phi+t >= int32(fr.vcs) {
+			return false
+		}
+
+		// The immediate next step must exist. Mirror Func: ports owning the
+		// packet's next channel go external; everything else takes a region
+		// step, which can dead-end for packets already descending under the
+		// old up*/down* labels.
+		if r.Kind == netsim.KindCore && r.ID == p.DstNode {
+			return true // ejects
+		}
+		exit := fr.exitOf(cg, dstCG, aux)
+		if r.Kind == netsim.KindPort && exit == r.ID {
+			return true // goes external on an alive channel by construction
+		}
+		target := exit
+		if target < 0 {
+			target = p.DstNode
+		}
+		lu, lt := fr.local[r.ID], fr.local[target]
+		if lt < 0 {
+			return false
+		}
+		rg := fr.regions[cg]
+		if lt >= rg.n || rg.nodes[lt] != target || lu >= rg.n || rg.nodes[lu] != r.ID {
+			return false // position and target are not in the same region
+		}
+		descending := p.Aux2 >= 0 && p.Aux2&2 != 0 && !bump
+		out, _ := rg.step(lu, lt, descending)
+		return out >= 0
 	}
 }
 

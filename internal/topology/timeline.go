@@ -1,0 +1,198 @@
+package topology
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sldf/internal/engine"
+	"sldf/internal/netsim"
+)
+
+// FaultTimeline describes in-run churn: components of a live network dying
+// (and optionally coming back) at scheduled cycles. Like FaultSpec it is
+// fully deterministic — the same timeline resolved against the same
+// topology yields the same events at the same cycles, regardless of worker
+// count or cycle engine.
+//
+// Fraction-based churn draws victims from the topology's FaultDomain
+// (the components the fault-aware routers can route around) and spreads
+// their death cycles uniformly over [Start, End); explicit Events ride
+// along untouched. Zero knobs and no events with Armed=false is the empty
+// timeline: builds are then bitwise identical to ones without the field.
+type FaultTimeline struct {
+	// Armed forces churn plumbing on even with no events: the build uses
+	// fault-grade VC provisioning and fault-aware routing from cycle zero
+	// and accepts programmatic mid-run injection (System.ApplyChipKill,
+	// Network.InjectChurn). A zero-event armed timeline simulates bitwise
+	// identically to the corresponding static faulted build.
+	Armed bool
+	// Seed drives victim sampling and death-cycle placement.
+	Seed uint64
+	// LinkChurn / RouterChurn in [0, 1] are the fractions of the fault
+	// domain's channels / routers that die during the window. Both
+	// directions of a channel die (and are repaired) together.
+	LinkChurn   float64
+	RouterChurn float64
+	// Deaths are placed uniformly in [Start, End) (End <= Start collapses
+	// to all deaths at Start).
+	Start, End int64
+	// Repair, when positive, schedules every sampled component's repair
+	// that many cycles after its death; zero makes deaths permanent.
+	Repair int64
+	// Policy selects stranded-packet treatment (drop or retry-at-source).
+	Policy netsim.DropPolicy
+	// Events are explicit additional events (already in network component
+	// IDs), merged with the sampled ones in canonical order.
+	Events []netsim.TimedFault
+}
+
+// Empty reports whether the timeline changes nothing: no sampled churn, no
+// explicit events, and not armed for programmatic injection.
+func (t FaultTimeline) Empty() bool {
+	return !t.Armed && t.LinkChurn == 0 && t.RouterChurn == 0 && len(t.Events) == 0
+}
+
+// Validate rejects out-of-range knobs.
+func (t FaultTimeline) Validate() error {
+	if t.LinkChurn < 0 || t.LinkChurn > 1 {
+		return fmt.Errorf("topology: LinkChurn %g outside [0, 1]", t.LinkChurn)
+	}
+	if t.RouterChurn < 0 || t.RouterChurn > 1 {
+		return fmt.Errorf("topology: RouterChurn %g outside [0, 1]", t.RouterChurn)
+	}
+	if t.Start < 0 || t.End < 0 {
+		return fmt.Errorf("topology: churn window [%d, %d) has a negative bound", t.Start, t.End)
+	}
+	if t.Repair < 0 {
+		return fmt.Errorf("topology: negative Repair %d", t.Repair)
+	}
+	for _, e := range t.Events {
+		if e.Cycle < 0 {
+			return fmt.Errorf("topology: explicit churn event at negative cycle %d", e.Cycle)
+		}
+	}
+	return nil
+}
+
+// Resolve expands the timeline against a fault domain into an explicit,
+// canonically sorted event list. Victim sampling uses RNG streams 2
+// (channels) and 3 (routers) — disjoint from FaultSpec's streams 0/1, so a
+// build-time fault spec and a churn timeline with the same seed stay
+// independent — and death-cycle placement uses streams 4/5.
+func (t FaultTimeline) Resolve(d FaultDomain) []netsim.TimedFault {
+	var events []netsim.TimedFault
+	span := t.End - t.Start
+	if k := sampleCount(t.LinkChurn, len(d.Channels)); k > 0 {
+		order := samplePerm(t.Seed, 2, len(d.Channels))
+		cycles := engine.NewRNGStream(t.Seed^0xFA017, 4)
+		for _, idx := range order[:k] {
+			at := t.Start
+			if span > 0 {
+				at += int64(cycles.Intn(int(span)))
+			}
+			ch := d.Channels[idx]
+			events = append(events,
+				netsim.LinkFault(at, ch[0], false),
+				netsim.LinkFault(at, ch[1], false))
+			if t.Repair > 0 {
+				events = append(events,
+					netsim.LinkFault(at+t.Repair, ch[0], true),
+					netsim.LinkFault(at+t.Repair, ch[1], true))
+			}
+		}
+	}
+	if k := sampleCount(t.RouterChurn, len(d.Routers)); k > 0 {
+		order := samplePerm(t.Seed, 3, len(d.Routers))
+		cycles := engine.NewRNGStream(t.Seed^0xFA017, 5)
+		for _, idx := range order[:k] {
+			at := t.Start
+			if span > 0 {
+				at += int64(cycles.Intn(int(span)))
+			}
+			id := d.Routers[idx]
+			events = append(events, netsim.RouterFault(at, id, false))
+			if t.Repair > 0 {
+				events = append(events, netsim.RouterFault(at+t.Repair, id, true))
+			}
+		}
+	}
+	events = append(events, t.Events...)
+	netsim.SortTimedFaults(events)
+	return events
+}
+
+// ParseChurn parses the CLI churn spec: comma-separated key=value pairs,
+// e.g. "links=0.02,routers=0.01,seed=7,start=1000,end=5000,repair=2000,policy=retry".
+// Keys: links, routers (fractions), seed, start, end, repair (cycles),
+// policy (drop|retry). An empty spec returns the empty timeline.
+func ParseChurn(spec string) (FaultTimeline, error) {
+	t := FaultTimeline{Seed: 1}
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return FaultTimeline{}, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return t, fmt.Errorf("churn: %q is not key=value", kv)
+		}
+		var err error
+		switch key {
+		case "links":
+			t.LinkChurn, err = strconv.ParseFloat(val, 64)
+		case "routers":
+			t.RouterChurn, err = strconv.ParseFloat(val, 64)
+		case "seed":
+			t.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "start":
+			t.Start, err = strconv.ParseInt(val, 10, 64)
+		case "end":
+			t.End, err = strconv.ParseInt(val, 10, 64)
+		case "repair":
+			t.Repair, err = strconv.ParseInt(val, 10, 64)
+		case "policy":
+			switch val {
+			case "drop":
+				t.Policy = netsim.DropInFlight
+			case "retry":
+				t.Policy = netsim.RetrySource
+			default:
+				return t, fmt.Errorf("churn: unknown policy %q (drop|retry)", val)
+			}
+		default:
+			return t, fmt.Errorf("churn: unknown key %q", key)
+		}
+		if err != nil {
+			return t, fmt.Errorf("churn: bad value for %s: %v", key, err)
+		}
+	}
+	t.Armed = true
+	if err := t.Validate(); err != nil {
+		return t, err
+	}
+	return t, nil
+}
+
+// ChurnString renders the timeline back into ParseChurn's format (used by
+// cache keys); the empty timeline renders as "".
+func (t FaultTimeline) ChurnString() string {
+	if t.Empty() {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "links=%g,routers=%g,seed=%d,start=%d,end=%d,repair=%d,policy=%s",
+		t.LinkChurn, t.RouterChurn, t.Seed, t.Start, t.End, t.Repair, t.Policy)
+	for _, e := range t.Events {
+		kind, id := "L", int64(e.Link)
+		if e.Router >= 0 {
+			kind, id = "R", int64(e.Router)
+		}
+		op := "-"
+		if e.Repair {
+			op = "+"
+		}
+		fmt.Fprintf(&b, ",%s%s%d@%d", op, kind, id, e.Cycle)
+	}
+	return b.String()
+}

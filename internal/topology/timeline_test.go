@@ -1,0 +1,200 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+
+	"sldf/internal/netsim"
+)
+
+func TestTimelineEmptyAndValidate(t *testing.T) {
+	if !(FaultTimeline{}).Empty() {
+		t.Error("zero timeline not empty")
+	}
+	for _, tl := range []FaultTimeline{
+		{Armed: true},
+		{LinkChurn: 0.1},
+		{RouterChurn: 0.1},
+		{Events: []netsim.TimedFault{netsim.RouterFault(1, 0, false)}},
+	} {
+		if tl.Empty() {
+			t.Errorf("%+v reported empty", tl)
+		}
+	}
+	for _, tl := range []FaultTimeline{
+		{LinkChurn: -0.1},
+		{LinkChurn: 1.5},
+		{RouterChurn: 2},
+		{Start: -1},
+		{End: -5},
+		{Repair: -1},
+		{Events: []netsim.TimedFault{netsim.LinkFault(-3, 0, false)}},
+	} {
+		if tl.Validate() == nil {
+			t.Errorf("%+v passed validation", tl)
+		}
+	}
+	if err := (FaultTimeline{LinkChurn: 0.5, Start: 10, End: 20, Repair: 5}).Validate(); err != nil {
+		t.Errorf("valid timeline rejected: %v", err)
+	}
+}
+
+func TestTimelineResolveDeterministicAndSorted(t *testing.T) {
+	// A real fault domain: the mesh exposes every channel plus the spare
+	// terminals of multi-core chips.
+	g, err := BuildMeshCGroup(4, 2, DefaultLinkClasses(1, 1), netsim.NetworkOptions{Seed: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Net.Close()
+	d := g.FaultDomain()
+	if len(d.Channels) == 0 {
+		t.Fatal("mesh fault domain has no channels")
+	}
+	tl := FaultTimeline{Seed: 9, LinkChurn: 0.25, RouterChurn: 0.5, Start: 100, End: 500, Repair: 300}
+	a := tl.Resolve(d)
+	b := tl.Resolve(d)
+	if len(a) == 0 {
+		t.Fatal("nothing resolved")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Resolve is not deterministic")
+	}
+	// Canonical order: non-decreasing cycle; deaths before repairs at equal
+	// cycles.
+	for i := 1; i < len(a); i++ {
+		if a[i].Cycle < a[i-1].Cycle {
+			t.Fatalf("events unsorted at %d: %+v after %+v", i, a[i], a[i-1])
+		}
+		if a[i].Cycle == a[i-1].Cycle && a[i-1].Repair && !a[i].Repair {
+			t.Fatalf("repair before death at cycle %d", a[i].Cycle)
+		}
+	}
+	// Window and repair pairing: every death inside [Start, End), every
+	// death matched by a repair exactly Repair cycles later on the same
+	// component.
+	repairs := map[netsim.TimedFault]bool{}
+	for _, e := range a {
+		if e.Repair {
+			repairs[netsim.TimedFault{Cycle: e.Cycle, Router: e.Router, Link: e.Link}] = true
+		}
+	}
+	deaths := 0
+	for _, e := range a {
+		if e.Repair {
+			continue
+		}
+		deaths++
+		if e.Cycle < tl.Start || e.Cycle >= tl.End {
+			t.Fatalf("death at %d outside [%d, %d)", e.Cycle, tl.Start, tl.End)
+		}
+		if !repairs[netsim.TimedFault{Cycle: e.Cycle + tl.Repair, Router: e.Router, Link: e.Link}] {
+			t.Fatalf("death %+v has no repair %d cycles later", e, tl.Repair)
+		}
+	}
+	if deaths == 0 {
+		t.Fatal("no deaths resolved")
+	}
+	// Channel deaths take both directions down at the same cycle.
+	linkDeaths := map[int64][]int32{}
+	for _, e := range a {
+		if !e.Repair && e.Link >= 0 {
+			linkDeaths[e.Cycle] = append(linkDeaths[e.Cycle], e.Link)
+		}
+	}
+	for cycle, links := range linkDeaths {
+		if len(links)%2 != 0 {
+			t.Fatalf("odd number of link deaths at cycle %d: %v (channel directions must die together)", cycle, links)
+		}
+	}
+	// A different seed draws different victims or cycles.
+	tl2 := tl
+	tl2.Seed = 10
+	if reflect.DeepEqual(a, tl2.Resolve(d)) {
+		t.Fatal("seed change did not change resolution")
+	}
+	// Explicit events ride along in canonical position.
+	tl3 := tl
+	tl3.Events = []netsim.TimedFault{netsim.RouterFault(0, 0, false)}
+	c := tl3.Resolve(d)
+	if len(c) != len(a)+1 || c[0].Cycle != 0 {
+		t.Fatalf("explicit cycle-0 event not first: %+v", c[0])
+	}
+}
+
+func TestTimelineResolveCollapsedWindow(t *testing.T) {
+	g, err := BuildMeshCGroup(4, 2, DefaultLinkClasses(1, 1), netsim.NetworkOptions{Seed: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Net.Close()
+	tl := FaultTimeline{Seed: 3, LinkChurn: 0.1, Start: 42, End: 42}
+	for _, e := range tl.Resolve(g.FaultDomain()) {
+		if e.Cycle != 42 {
+			t.Fatalf("collapsed window placed an event at %d", e.Cycle)
+		}
+	}
+}
+
+func TestParseChurnRoundTrip(t *testing.T) {
+	spec := "links=0.02,routers=0.01,seed=7,start=1000,end=5000,repair=2000,policy=retry"
+	tl, err := ParseChurn(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FaultTimeline{Armed: true, Seed: 7, LinkChurn: 0.02, RouterChurn: 0.01,
+		Start: 1000, End: 5000, Repair: 2000, Policy: netsim.RetrySource}
+	if !reflect.DeepEqual(tl, want) {
+		t.Fatalf("parsed %+v, want %+v", tl, want)
+	}
+	// ChurnString renders back to a spec that parses to the same timeline.
+	back, err := ParseChurn(tl.ChurnString())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", tl.ChurnString(), err)
+	}
+	if !reflect.DeepEqual(back, tl) {
+		t.Fatalf("round trip drifted: %+v -> %q -> %+v", tl, tl.ChurnString(), back)
+	}
+}
+
+func TestParseChurnErrorsAndEmpty(t *testing.T) {
+	if tl, err := ParseChurn("  "); err != nil || !tl.Empty() {
+		t.Fatalf("blank spec: %+v, %v", tl, err)
+	}
+	for _, spec := range []string{
+		"links",       // not key=value
+		"bogus=1",     // unknown key
+		"links=x",     // bad float
+		"policy=yolo", // unknown policy
+		"links=1.5",   // fails validation
+		"start=-5",    // fails validation
+		"repair=-1",   // fails validation
+	} {
+		if _, err := ParseChurn(spec); err == nil {
+			t.Errorf("ParseChurn(%q) succeeded", spec)
+		}
+	}
+	// Any non-blank spec arms the timeline, even without sampled churn:
+	// "seed=5" means "build fault-grade, inject programmatically".
+	tl, err := ParseChurn("seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tl.Armed || tl.Empty() {
+		t.Fatalf("knob-only spec not armed: %+v", tl)
+	}
+}
+
+func TestChurnStringEmpty(t *testing.T) {
+	if s := (FaultTimeline{}).ChurnString(); s != "" {
+		t.Fatalf("empty timeline renders %q", s)
+	}
+	tl := FaultTimeline{Armed: true, Events: []netsim.TimedFault{
+		netsim.RouterFault(100, 5, false),
+		netsim.LinkFault(200, 3, true),
+	}}
+	want := "links=0,routers=0,seed=0,start=0,end=0,repair=0,policy=drop,-R5@100,+L3@200"
+	if s := tl.ChurnString(); s != want {
+		t.Fatalf("ChurnString = %q, want %q", s, want)
+	}
+}

@@ -107,6 +107,48 @@ type (
 	Backend = campaign.Backend
 )
 
+// Live fault churn: a Config.Churn timeline kills and repairs components
+// at seeded cycles mid-run, with routing recomputed and in-flight packets
+// accounted per policy. See also System.ApplyChipKill and
+// System.MeasureChurnCollective.
+type (
+	// FaultTimeline is a deterministic in-run death/repair schedule
+	// (Config.Churn); parse one from its CLI spec with ParseChurn.
+	FaultTimeline = topology.FaultTimeline
+	// TimedFault is one timeline event: a component death or repair at a
+	// cycle.
+	TimedFault = netsim.TimedFault
+	// DropPolicy says what happens to packets a death strands.
+	DropPolicy = netsim.DropPolicy
+)
+
+// Drop policies for packets stranded by a component death.
+const (
+	// DropInFlight drops stranded packets (counted in Stats.DroppedPkts).
+	DropInFlight = netsim.DropInFlight
+	// RetrySource re-injects stranded packets at their source (counted in
+	// Stats.RetriedPkts).
+	RetrySource = netsim.RetrySource
+)
+
+// ParseChurn parses a churn spec like
+// "links=0.02,routers=0.01,seed=7,start=1000,end=5000,repair=2000,policy=retry"
+// into an armed fault timeline; a blank spec returns an empty (disarmed)
+// timeline.
+func ParseChurn(spec string) (FaultTimeline, error) { return topology.ParseChurn(spec) }
+
+// RouterFault builds a timeline event killing (repair=false) or repairing
+// (repair=true) a router at the given cycle.
+func RouterFault(cycle int64, router int32, repair bool) TimedFault {
+	return netsim.RouterFault(cycle, router, repair)
+}
+
+// LinkFault builds a timeline event killing or repairing a link at the
+// given cycle.
+func LinkFault(cycle int64, link int32, repair bool) TimedFault {
+	return netsim.LinkFault(cycle, link, repair)
+}
+
 // Build constructs the system described by cfg.
 func Build(cfg Config) (*System, error) { return core.Build(cfg) }
 
