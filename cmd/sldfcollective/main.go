@@ -73,6 +73,7 @@ func run(args []string, w, errw io.Writer) error {
 	faultRouters := fs.Float64("faultrouters", 0, "fraction of eligible routers to fail")
 	faultSeed := fs.Uint64("faultseed", 1, "fault-draw seed")
 	churn := fs.String("churn", "", "in-run fault timeline, e.g. links=0.02,seed=7,start=1000,end=5000,repair=2000,policy=retry (empty = no churn)")
+	engine := fs.String("engine", "", "simulation engine: active-set (default) | reference | flow")
 	killChip := fs.Int("killchip", -1, "chip to kill mid-collective; switches to the churn panel (negative = off)")
 	killStep := fs.Int("killstep", 1, "dependent step before which -killchip dies")
 	jobs := fs.Int("jobs", 1, "cases measured concurrently (results identical for any value)")
@@ -93,6 +94,10 @@ func run(args []string, w, errw io.Writer) error {
 	}
 
 	timeline, err := topology.ParseChurn(*churn)
+	if err != nil {
+		return err
+	}
+	engineKind, err := core.ParseEngine(*engine)
 	if err != nil {
 		return err
 	}
@@ -127,11 +132,13 @@ func run(args []string, w, errw io.Writer) error {
 					Cfg: cfg, Schedule: sch, Label: name, Volume: *volume,
 					PacketSize: int32(*packet), MaxStepCycles: *maxStep,
 					KillChip: int32(*killChip), KillStep: *killStep,
+					Engine: engineKind,
 				})
 			} else {
 				spec.Cases = append(spec.Cases, core.CollectiveCaseSpec{
 					Cfg: cfg, Schedule: sch, Label: name, Volume: *volume,
 					PacketSize: int32(*packet), MaxStepCycles: *maxStep,
+					Engine: engineKind,
 				})
 			}
 		}

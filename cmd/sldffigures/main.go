@@ -27,6 +27,7 @@ import (
 	"sldf/internal/campaign/remote"
 	"sldf/internal/core"
 	"sldf/internal/metrics"
+	"sldf/internal/topology"
 )
 
 func main() {
@@ -56,6 +57,8 @@ func run(args []string, w, errw io.Writer) error {
 	jobs := fs.Int("jobs", 1, "sweep points measured concurrently (results identical for any value)")
 	cacheDir := fs.String("cache", "", "directory for the on-disk point cache (empty = off); re-runs skip already-measured points")
 	remoteAddrs := fs.String("remote", "", "comma-separated sldfd worker addresses; shards sweep points across them (results identical to local)")
+	churn := fs.String("churn", "", "in-run fault timeline armed on resilience-figure networks, e.g. links=0.02,seed=7,start=1000,end=5000,repair=2000,policy=retry (empty = no churn)")
+	engine := fs.String("engine", "", "simulation engine for every measurement: active-set (default) | reference | flow")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h printed usage; that is success, not failure
@@ -78,6 +81,14 @@ func run(args []string, w, errw io.Writer) error {
 		return err
 	}
 	opts := core.RunOptions{Jobs: *jobs}
+	timeline, err := topology.ParseChurn(*churn)
+	if err != nil {
+		return err
+	}
+	opts.Churn = timeline
+	if opts.Engine, err = core.ParseEngine(*engine); err != nil {
+		return err
+	}
 	var diskCache *campaign.Cache
 	if *cacheDir != "" {
 		c, err := campaign.OpenCache(*cacheDir)

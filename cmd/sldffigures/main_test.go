@@ -6,7 +6,34 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"sldf/internal/core"
 )
+
+// A tiny single-W-group resilience experiment (32 chips, one seed, two
+// fractions) so the -churn path can be validated end to end without the
+// registered 1312-chip resilience figure's cost.
+func init() {
+	cfg := core.Config{Kind: core.SwitchlessDragonfly, SLDF: core.Radix16SLDF(), Seed: 5}
+	cfg.SLDF.G = 1
+	core.RegisterExperiment(core.ExperimentSpec{
+		Name:  "figtest-res",
+		Title: "test-only tiny resilience figure",
+		Plan: func(core.Scale) core.ExperimentPlan {
+			return core.ExperimentPlan{Resilience: []core.ResilienceFigureSpec{{
+				Name: "figtest-res", Title: "tiny resilience",
+				Opts: core.ResilienceOpts{
+					Fractions: []float64{0, 0.05},
+					Seeds:     []uint64{1},
+					Pattern:   "uniform",
+					Rate:      0.2,
+					Sim:       core.QuickSim(),
+				},
+				Series: []core.ResilienceSeriesSpec{{Cfg: cfg}},
+			}}}
+		},
+	})
+}
 
 func TestRunHelp(t *testing.T) {
 	var out, errOut strings.Builder
@@ -27,12 +54,49 @@ func TestRunFlagErrors(t *testing.T) {
 		{"-fig", "nope"},
 		{"-no-such-flag"},
 		{"-jobs", "x"},
+		{"-churn", "links=2.0"},   // fraction outside [0, 1]
+		{"-churn", "bogus"},       // not key=value
+		{"-engine", "warp-drive"}, // unknown engine
 	}
 	for _, args := range cases {
 		var buf strings.Builder
 		if err := run(args, &buf, io.Discard); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
+	}
+}
+
+// TestRunChurnFlag validates the -churn flag end to end: a churn-degraded
+// resilience figure runs through the registry runner, lands on disk, and
+// the timeline measurably changes the figure relative to a churn-free run.
+func TestRunChurnFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	runOne := func(dir string, extra ...string) string {
+		t.Helper()
+		args := append([]string{"-quick", "-fig", "figtest-res", "-out", dir}, extra...)
+		var buf strings.Builder
+		if err := run(args, &buf, io.Discard); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+		if !strings.Contains(buf.String(), "== figtest-res") {
+			t.Fatalf("summary missing the figure:\n%s", buf.String())
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "figtest-res.csv"))
+		if err != nil {
+			t.Fatalf("CSV not written: %v", err)
+		}
+		if lines := strings.Split(strings.TrimSpace(string(data)), "\n"); len(lines) < 2 {
+			t.Fatalf("figtest-res.csv has no data rows:\n%s", data)
+		}
+		return string(data)
+	}
+	clean := runOne(t.TempDir())
+	churned := runOne(t.TempDir(),
+		"-churn", "links=0.08,seed=3,start=100,end=400,repair=200,policy=drop")
+	if clean == churned {
+		t.Fatalf("-churn changed nothing; the timeline never reached the sweep:\n%s", churned)
 	}
 }
 

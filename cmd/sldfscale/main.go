@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"sldf/internal/core"
+	"sldf/internal/netsim"
 	"sldf/internal/scale"
 )
 
@@ -36,6 +37,7 @@ func main() {
 		minCeiling  = flag.Float64("min-ceiling", 0, "exit nonzero unless the ceiling value reaches this (0 = no gate)")
 		jsonOut     = flag.String("json", "", "write the report as JSON to this file (\"-\" = stdout)")
 		quiet       = flag.Bool("q", false, "suppress per-step progress lines")
+		engine      = flag.String("engine", "", "validation-run engine for -dim chips: active-set (default) | reference | flow (flow climbs far past the cycle ceiling)")
 	)
 	flag.Parse()
 
@@ -43,13 +45,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	eng, err := core.ParseEngine(*engine)
+	if err != nil {
+		fatal(err)
+	}
 	var d scale.Dimension
 	switch *dim {
 	case "chips":
-		d = scale.ChipsDimension(k, *workers)
+		d = scale.ChipsDimensionEngine(k, *workers, eng)
 	case "faults":
+		if eng != netsim.EngineActiveSet {
+			fatal(fmt.Errorf("-engine applies to -dim chips only"))
+		}
 		d = scale.FaultFractionDimension(k, *workers)
 	case "jobs":
+		if eng != netsim.EngineActiveSet {
+			fatal(fmt.Errorf("-engine applies to -dim chips only"))
+		}
 		d = scale.JobsDimension(k, *workers)
 	default:
 		fatal(fmt.Errorf("unknown -dim %q (want chips, faults, or jobs)", *dim))

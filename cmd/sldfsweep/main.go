@@ -64,6 +64,7 @@ func main() {
 		faultRouters = flag.Float64("faultrouters", 0, "fraction of redundant routers (port modules, spare cores) to fail")
 		faultSeed    = flag.Uint64("faultseed", 1, "fault-sampling seed (same spec + seed = same failures)")
 		churn        = flag.String("churn", "", "in-run fault timeline, e.g. links=0.02,routers=0.01,seed=7,start=1000,end=5000,repair=2000,policy=retry (empty = no churn)")
+		engine       = flag.String("engine", "", "simulation engine: active-set (default) | reference | flow")
 	)
 	prof := profiling.Flags()
 	flag.Parse()
@@ -84,6 +85,9 @@ func main() {
 	rates := core.RateGrid(*from, *to, *step)
 	sp := core.SimParams{Warmup: *warmup, Measure: *measure,
 		ExtraDrain: *measure / 2, PacketSize: 4}
+	if sp.Engine, err = core.ParseEngine(*engine); err != nil {
+		fatalf("%v", err)
+	}
 
 	opts := core.RunOptions{Jobs: *jobs}
 	var diskCache *campaign.Cache

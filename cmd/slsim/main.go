@@ -36,6 +36,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		printKey = flag.Bool("printkey", false, "also print the point's content-addressed campaign job key (correlates with -cache stores and sldfd workers)")
 		churn    = flag.String("churn", "", "in-run fault timeline, e.g. links=0.02,seed=7,start=2000,end=8000,repair=2000,policy=retry (empty = no churn)")
+		engine   = flag.String("engine", "", "simulation engine: active-set (default) | reference | flow")
 	)
 	prof := profiling.Flags()
 	flag.Parse()
@@ -129,6 +130,9 @@ func main() {
 	}
 	sp := core.SimParams{Warmup: *warmup, Measure: *measure,
 		ExtraDrain: *measure / 2, PacketSize: 4}
+	if sp.Engine, err = core.ParseEngine(*engine); err != nil {
+		fatalf("%v", err)
+	}
 	if *printKey {
 		// The same (config, pattern, rate, window) measured by a sweep —
 		// locally or on a worker daemon — stores its point under this key.

@@ -126,9 +126,18 @@ func (s *System) MeasureChurnCollective(cs ChurnCollectiveSpec) (metrics.Point, 
 		return metrics.Point{}, err
 	}
 
+	// Step ranges run through the case's engine: the cycle engines drain to
+	// exact barriers, the flow engine solves each step analytically.
+	runRange := func(sch collective.Schedule, lo, hi int) (collective.Result, error) {
+		if cs.Engine == netsim.EngineFlow {
+			return collective.RunStepsFlow(s.Net, sch, cs.packet(), lo, hi)
+		}
+		return collective.RunSteps(s.Net, sch, cs.packet(), cs.MaxStepCycles, lo, hi)
+	}
+
 	var pre, post collective.Result
 	if cs.KillChip < 0 {
-		pre, err = collective.Run(s.Net, sch, cs.packet(), cs.MaxStepCycles)
+		pre, err = runRange(sch, 0, len(sch.Steps))
 		if err != nil {
 			return metrics.Point{}, fmt.Errorf("%s/%s baseline: %w", s.Label, cs.Schedule, err)
 		}
@@ -140,7 +149,7 @@ func (s *System) MeasureChurnCollective(cs ChurnCollectiveSpec) (metrics.Point, 
 		if k > len(sch.Steps) {
 			k = len(sch.Steps)
 		}
-		pre, err = collective.RunSteps(s.Net, sch, cs.packet(), cs.MaxStepCycles, 0, k)
+		pre, err = runRange(sch, 0, k)
 		if err != nil {
 			return metrics.Point{}, fmt.Errorf("%s/%s pre-kill: %w", s.Label, cs.Schedule, err)
 		}
@@ -159,7 +168,7 @@ func (s *System) MeasureChurnCollective(cs ChurnCollectiveSpec) (metrics.Point, 
 		if lo > len(surv.Steps) {
 			lo = len(surv.Steps)
 		}
-		post, err = collective.RunSteps(s.Net, surv, cs.packet(), cs.MaxStepCycles, lo, len(surv.Steps))
+		post, err = runRange(surv, lo, len(surv.Steps))
 		if err != nil {
 			return metrics.Point{}, fmt.Errorf("%s/%s post-kill: %w", s.Label, cs.Schedule, err)
 		}

@@ -248,7 +248,12 @@ func (s *System) MeasureCollective(cs CollectiveSpec) (metrics.Point, error) {
 	if err != nil {
 		return metrics.Point{}, err
 	}
-	res, err := collective.Run(s.Net, sch, cs.packet(), cs.MaxStepCycles)
+	var res collective.Result
+	if cs.Engine == netsim.EngineFlow {
+		res, err = collective.RunFlow(s.Net, sch, cs.packet())
+	} else {
+		res, err = collective.Run(s.Net, sch, cs.packet(), cs.MaxStepCycles)
+	}
 	if err != nil {
 		return metrics.Point{}, fmt.Errorf("%s/%s: %w", s.Label, cs.Schedule, err)
 	}

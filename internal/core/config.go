@@ -100,12 +100,30 @@ type SimParams struct {
 	ExtraDrain int64 // post-window cycles (traffic stays on) to flush packets
 	PacketSize int32 // flits
 
-	// Engine selects the cycle engine for the measurement. The default,
-	// netsim.EngineActiveSet, skips quiescent routers and links;
-	// netsim.EngineReference walks everything each cycle. Both produce
-	// bitwise-identical statistics, so serial-reference runs can
-	// cross-check active-set results (see the engine equivalence tests).
+	// Engine selects the simulation engine for the measurement. The
+	// default, netsim.EngineActiveSet, skips quiescent routers and links;
+	// netsim.EngineReference walks everything each cycle. Those two are
+	// cycle engines and produce bitwise-identical statistics, so
+	// serial-reference runs can cross-check active-set results (see the
+	// engine equivalence tests). netsim.EngineFlow instead solves the
+	// window analytically from a sampled traffic matrix — approximate, with
+	// pinned error bounds validated in the cross-engine suite, but usable
+	// orders of magnitude past the cycle engines' scale ceiling.
 	Engine netsim.EngineKind
+}
+
+// ParseEngine maps a CLI -engine value to its kind. The empty string is
+// the default (active-set) engine.
+func ParseEngine(name string) (netsim.EngineKind, error) {
+	switch name {
+	case "", "active-set":
+		return netsim.EngineActiveSet, nil
+	case "reference":
+		return netsim.EngineReference, nil
+	case "flow":
+		return netsim.EngineFlow, nil
+	}
+	return 0, fmt.Errorf("core: unknown engine %q (want active-set, reference or flow)", name)
 }
 
 // DefaultSim returns the Table IV defaults: 4-flit packets, 5000 warmup,

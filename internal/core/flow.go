@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"sldf/internal/energy"
+	"sldf/internal/metrics"
+	"sldf/internal/netsim"
+	"sldf/internal/traffic"
+)
+
+// Flow-engine measurement path: MeasureLoad dispatches here when
+// SimParams.Engine is netsim.EngineFlow. The traffic pattern is discretized
+// into a sampled chip-to-chip demand matrix (deterministic per-chip RNG
+// streams, so cached points reproduce exactly) and handed to the network's
+// analytical solver; the Result surface is identical to the cycle path's.
+
+// flowDemands samples the traffic matrix: every chip that still has a
+// terminal draws FlowSampleCount destinations, each carrying an equal share
+// of the chip's offered rate. The pattern is re-wrapped against the current
+// alive set on every call, so churn segments re-filter dead chips.
+func (s *System) flowDemands(pat traffic.Pattern, rate float64) []netsim.FlowDemand {
+	fpat := traffic.FilterDead(pat, s.aliveChips)
+	samples := netsim.FlowSampleCount(s.Chips)
+	per := rate / float64(samples)
+	demands := make([]netsim.FlowDemand, 0, s.Chips*samples)
+	for c := int32(0); int(c) < s.Chips; c++ {
+		if len(s.Net.ChipNodes[c]) == 0 {
+			continue
+		}
+		rng := netsim.FlowDemandRNG(s.Cfg.Seed, c)
+		for i := 0; i < samples; i++ {
+			dst := fpat.Dest(c, &rng)
+			if dst < 0 {
+				continue
+			}
+			demands = append(demands, netsim.FlowDemand{Src: c, Dst: dst, Rate: per})
+		}
+	}
+	return demands
+}
+
+// measureLoadFlow is the EngineFlow counterpart of MeasureLoad's
+// run/measure/drain sequence: one analytical solve (segmented across any
+// armed churn timeline), then the same Snapshot/utilization/energy surface.
+func (s *System) measureLoadFlow(pat traffic.Pattern, rate float64, sp SimParams) (Result, error) {
+	err := s.Net.SolveFlow(netsim.FlowOptions{
+		Demands:    func() []netsim.FlowDemand { return s.flowDemands(pat, rate) },
+		PacketSize: sp.PacketSize,
+		Warmup:     sp.Warmup,
+		Measure:    sp.Measure,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("%s flow solve: %w", s.Label, err)
+	}
+	st := s.Net.Snapshot()
+	byClass, hottest := s.Net.LinkUtilization(8)
+	return Result{
+		Rate: rate,
+		Point: metrics.Point{
+			Rate:       rate,
+			Latency:    st.MeanLatency(),
+			P50:        float64(st.Latency.Quantile(0.5)),
+			P99:        float64(st.Latency.Quantile(0.99)),
+			Throughput: st.Throughput(),
+			Dropped:    st.DroppedPkts,
+			Retried:    st.RetriedPkts,
+			Refused:    st.RefusedPkts,
+		},
+		Stats:       st,
+		Energy:      energy.FromStats(st, energy.TableII()),
+		Utilization: byClass,
+		Hottest:     hottest,
+	}, nil
+}

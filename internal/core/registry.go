@@ -5,6 +5,7 @@ import (
 
 	"sldf/internal/campaign"
 	"sldf/internal/metrics"
+	"sldf/internal/netsim"
 )
 
 // This file is the experiment registry: every evaluation figure of the
@@ -152,6 +153,7 @@ type ExperimentResult struct {
 // runners.
 func RunExperiment(spec ExperimentSpec, scale Scale, opts RunOptions) (ExperimentResult, error) {
 	plan := spec.Plan(scale)
+	applyEngineOverride(&plan, opts.Engine)
 	var res ExperimentResult
 	for _, fs := range plan.Figures {
 		fig, err := runFigureSpec(fs, opts)
@@ -199,6 +201,39 @@ func RunExperimentByName(name string, scale Scale, opts RunOptions) (ExperimentR
 			name, ExperimentNames())
 	}
 	return RunExperiment(spec, scale, opts)
+}
+
+// applyEngineOverride rewrites every measurement of a resolved plan to run
+// under the given engine (RunOptions.Engine, the figure CLIs' -engine
+// flag). The default engine leaves the plan untouched, so registered specs
+// keep their own per-series engine choices unless the caller overrides.
+func applyEngineOverride(plan *ExperimentPlan, engine netsim.EngineKind) {
+	if engine == netsim.EngineActiveSet {
+		return
+	}
+	for i := range plan.Figures {
+		for j := range plan.Figures[i].Series {
+			plan.Figures[i].Series[j].Sim.Engine = engine
+		}
+	}
+	for i := range plan.Energy {
+		for j := range plan.Energy[i].Bars {
+			plan.Energy[i].Bars[j].Sim.Engine = engine
+		}
+	}
+	for i := range plan.Resilience {
+		plan.Resilience[i].Opts.Sim.Engine = engine
+	}
+	for i := range plan.Collectives {
+		for j := range plan.Collectives[i].Cases {
+			plan.Collectives[i].Cases[j].Engine = engine
+		}
+	}
+	for i := range plan.Churn {
+		for j := range plan.Churn[i].Cases {
+			plan.Churn[i].Cases[j].Engine = engine
+		}
+	}
 }
 
 // runFigureSpec sweeps every series of a latency figure.

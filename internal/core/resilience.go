@@ -34,7 +34,9 @@ type ResilienceOpts struct {
 	// Run controls parallelism: Run.Jobs (fraction, seed) points are
 	// measured concurrently. Results are identical for any value. The
 	// point cache is not consulted: resilience points are keyed by their
-	// fault spec and cheap relative to full sweeps.
+	// fault spec and cheap relative to full sweeps. A non-empty Run.Churn
+	// timeline is armed on every built network, layering in-run component
+	// death and repair over the static fault grid.
 	Run RunOptions
 }
 
@@ -144,6 +146,12 @@ func ResilienceSweep(cfg Config, opts ResilienceOpts) (ResilienceSeries, error) 
 					LinkFraction:   fraction,
 					RouterFraction: opts.RouterScale * fraction,
 				}
+				if !opts.Run.Churn.Empty() {
+					// Live churn rides on top of the static fault draw: the
+					// degraded network additionally loses (and regains)
+					// components mid-measurement.
+					pcfg.Churn = opts.Run.Churn
+				}
 				sys, err := Build(pcfg)
 				if err != nil {
 					if errors.Is(err, routing.ErrPartitioned) ||
@@ -165,9 +173,17 @@ func ResilienceSweep(cfg Config, opts ResilienceOpts) (ResilienceSeries, error) 
 				}
 				res, err := sys.MeasureLoad(pat, opts.Rate, opts.Sim)
 				if err != nil {
-					if errors.Is(err, netsim.ErrDeadlock) {
+					switch {
+					case errors.Is(err, netsim.ErrDeadlock):
 						c.deadlocked = true
-					} else {
+					case errors.Is(err, routing.ErrPartitioned),
+						errors.Is(err, routing.ErrDegradedVCs),
+						errors.Is(err, netsim.ErrDeadChip):
+						// A churn timeline can disconnect survivors that the
+						// static draw left connected; that is an infeasible
+						// draw mid-measurement, not a sweep failure.
+						c.infeasible = true
+					default:
 						c.err = err
 						aborted.Store(true)
 					}

@@ -8,6 +8,7 @@ import (
 	"sldf/internal/metrics"
 	"sldf/internal/netsim"
 	"sldf/internal/routing"
+	"sldf/internal/topology"
 	"sldf/internal/traffic"
 )
 
@@ -31,6 +32,18 @@ type RunOptions struct {
 	// caller-supplied closure (SweepScopedOpts) cannot be shipped as data
 	// and always run locally.
 	Backend campaign.Backend
+	// Engine, when non-default, overrides the simulation engine of every
+	// measurement in a registry experiment plan (see RunExperiment) —
+	// the -engine flag of the figure CLIs. Cache keys already partition by
+	// engine, so overridden runs never replay another engine's points.
+	Engine netsim.EngineKind
+	// Churn, when non-empty, arms this in-run fault timeline on every
+	// system a resilience sweep builds, degrading the fault grid with live
+	// component death and repair (the -churn flag of sldffigures). Other
+	// experiment families ignore it; their configs carry their own
+	// Config.Churn. Resilience points are never cached, so the timeline
+	// cannot collide with cached churn-free points.
+	Churn topology.FaultTimeline
 }
 
 // RateGrid returns the inclusive grid lo, lo+step, ..., hi using integer

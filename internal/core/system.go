@@ -391,6 +391,11 @@ type Result struct {
 // System for the next point.
 func (s *System) MeasureLoad(pat traffic.Pattern, rate float64, sp SimParams) (Result, error) {
 	s.Net.SetEngine(sp.Engine)
+	if sp.Engine == netsim.EngineFlow {
+		// The analytical path samples (and dead-filters) the pattern itself,
+		// per churn segment.
+		return s.measureLoadFlow(pat, rate, sp)
+	}
 	pat = traffic.FilterDead(pat, s.aliveChips)
 	s.rateGen.Init(pat, rate, sp.PacketSize, s.NodesPerChip)
 	s.Net.SetTraffic(&s.rateGen, sp.PacketSize, netsim.DstSameIndex)
@@ -415,6 +420,9 @@ func (s *System) MeasureLoad(pat traffic.Pattern, rate float64, sp SimParams) (R
 			P50:        float64(st.Latency.Quantile(0.5)),
 			P99:        float64(st.Latency.Quantile(0.99)),
 			Throughput: st.Throughput(),
+			Dropped:    st.DroppedPkts,
+			Retried:    st.RetriedPkts,
+			Refused:    st.RefusedPkts,
 		},
 		Stats:       st,
 		Energy:      energy.FromStats(st, energy.TableII()),

@@ -19,6 +19,15 @@ type Point struct {
 	P99        float64
 	Throughput float64 // accepted load, flits/cycle/chip
 
+	// Churn accounting, mirrored from netsim.Stats so in-run fault
+	// timelines surface their losses in sweep output instead of silently
+	// reporting zero. All three stay zero — and omitted from JSON, keeping
+	// churn-free cache entries and wire messages byte-identical to older
+	// revisions — unless a timeline stranded or refused packets.
+	Dropped int64 `json:",omitempty"` // stranded in flight and discarded
+	Retried int64 `json:",omitempty"` // stranded and re-injected at the source
+	Refused int64 `json:",omitempty"` // refused at injection (destination dead)
+
 	// Aux carries experiment-family-specific extras through the store and
 	// the coordinator/worker protocol (collective jobs record delivered
 	// packets and per-step makespans here; int64 cycle counts are exact in
@@ -190,13 +199,32 @@ func (f ChurnFigure) CSV() string {
 	return b.String()
 }
 
+// hasChurn reports whether any point of the figure recorded churn losses;
+// the CSV grows its churn columns only then, so churn-free figures stay
+// byte-identical to older revisions.
+func (f Figure) hasChurn() bool {
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if p.Dropped != 0 || p.Retried != 0 || p.Refused != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // CSV renders the figure as rate-indexed CSV with one latency and one
-// throughput column per series.
+// throughput column per series; figures measured under churn additionally
+// carry per-series dropped/retried/refused packet columns.
 func (f Figure) CSV() string {
+	churn := f.hasChurn()
 	var b strings.Builder
 	b.WriteString("rate")
 	for _, s := range f.Series {
 		fmt.Fprintf(&b, ",%s_latency,%s_throughput", s.Label, s.Label)
+		if churn {
+			fmt.Fprintf(&b, ",%s_dropped,%s_retried,%s_refused", s.Label, s.Label, s.Label)
+		}
 	}
 	b.WriteByte('\n')
 	// Collect the union of rates.
@@ -218,12 +246,18 @@ func (f Figure) CSV() string {
 			for _, p := range s.Points {
 				if p.Rate == r {
 					fmt.Fprintf(&b, ",%.3f,%.4f", p.Latency, p.Throughput)
+					if churn {
+						fmt.Fprintf(&b, ",%d,%d,%d", p.Dropped, p.Retried, p.Refused)
+					}
 					found = true
 					break
 				}
 			}
 			if !found {
 				b.WriteString(",,")
+				if churn {
+					b.WriteString(",,,")
+				}
 			}
 		}
 		b.WriteByte('\n')

@@ -17,6 +17,16 @@ const (
 	// cycle walks every router and link. It exists to cross-check the
 	// active-set engine — both produce bitwise-identical statistics.
 	EngineReference
+	// EngineFlow is the flow-level analytical engine: instead of stepping
+	// packets per cycle it solves per-link steady-state load from a sampled
+	// traffic matrix and the installed routing function (iterative
+	// waterfilling over link capacities), then synthesizes the same Stats
+	// surface with a queueing-theoretic latency approximation. It is
+	// approximate — validated against the cycle engines with documented
+	// error bounds, not bitwise identity — and exists for campaign points
+	// far past the cycle engines' scale ceiling. Networks under EngineFlow
+	// are driven through SolveFlow/FlowMakespan, never Step.
+	EngineFlow
 )
 
 // String names the engine kind.
@@ -26,6 +36,8 @@ func (k EngineKind) String() string {
 		return "active-set"
 	case EngineReference:
 		return "reference"
+	case EngineFlow:
+		return "flow"
 	}
 	return "unknown"
 }

@@ -1,0 +1,499 @@
+package netsim
+
+// The flow-level analytical engine (EngineFlow): instead of stepping
+// packets cycle by cycle, it solves the steady-state per-link load induced
+// by a sampled traffic matrix over the installed routing function, then
+// synthesizes the same Stats surface the cycle engines produce — mean and
+// quantile latency via an M/D/1-style queueing approximation, accepted
+// throughput from the waterfilled loads, and per-link window flits so
+// LinkUtilization works unchanged. It is approximate by design (validated
+// against the cycle engines with pinned error bounds, see
+// internal/core/flowvalidate_test.go) and exists for campaign points far
+// beyond the cycle engines' scale ceiling.
+//
+// The engine reuses the network exactly as built: routes are traced by
+// running the installed RouteFunc over a phantom packet hop by hop, so
+// fault-aware routing, adaptive pre-allocate hooks and churn rewiring all
+// apply without flow-specific code. Armed fault timelines are honored by
+// segmenting the measurement window at event cycles and re-solving per
+// segment (SolveFlow), which is what keeps churn campaigns working
+// unchanged under EngineFlow.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sldf/internal/engine"
+)
+
+// FlowDemand is one steady-state flow of the sampled traffic matrix: chip
+// Src offers Rate flits/cycle toward chip Dst. The solver spreads a chip's
+// demands across its injection nodes the same way DstSameIndex does.
+type FlowDemand struct {
+	Src, Dst int32
+	Rate     float64
+}
+
+// FlowVolume is one finite transfer for collective-step makespans: chip
+// Src sends Flits flits to chip Dst, split evenly across Src's nodes.
+type FlowVolume struct {
+	Src, Dst int32
+	Flits    int64
+}
+
+// FlowOptions configures one SolveFlow measurement window.
+type FlowOptions struct {
+	// Demands returns the sampled traffic matrix. It is re-invoked after
+	// every applied churn segment so the caller can re-filter dead chips
+	// (deterministic sampling makes repeated calls identical otherwise).
+	Demands func() []FlowDemand
+	// PacketSize is the packet size in flits (latency includes the
+	// Size-cycle ejection serialization, exactly like the cycle engines).
+	PacketSize int32
+	// Warmup cycles are modeled but not measured; Measure cycles form the
+	// reported window, mirroring the cycle engines' Run(Warmup) /
+	// StartMeasurement / Run(Measure) sequence.
+	Warmup, Measure int64
+}
+
+// ErrFlowEngine wraps flow-solver usage errors.
+var ErrFlowEngine = errors.New("netsim: flow engine")
+
+// flowMaxHops bounds route tracing; any SLDF/Dragonfly/mesh route is far
+// shorter, so hitting it means the routing function is cycling.
+const flowMaxHops = 256
+
+// flowHistScale is the histogram super-sampling factor: per-flow delivered
+// packet counts can be fractional at quick windows, so bucket weights are
+// scaled up to keep sub-packet flows from rounding out of the quantiles.
+const flowHistScale = 64
+
+// flowWaterfillIters bounds the throttle fixpoint iteration; the monotone
+// scheme is usually converged after a handful of rounds.
+const flowWaterfillIters = 24
+
+// flowRhoCap keeps the M/D/1 waiting-time term finite at saturation.
+const flowRhoCap = 0.98
+
+// flowFlow is one node-level flow: its offered rate, solved throttle, and
+// traced path (links crossed plus the ejection node) as an offset/length
+// into flowState.path.
+type flowFlow struct {
+	rate float64 // offered flits/cycle on this node-level flow
+	x    float64 // throttle after waterfilling (delivered = rate*x)
+	base int64   // uncontended end-to-end latency in cycles
+	off  int32   // path start in flowState.path
+	n    int32   // path element count
+	hops [NumHopClasses]uint16
+}
+
+// flowState is the per-solve scratch: flows with flattened paths, and one
+// load/capacity slot per link plus one per router (the router slots model
+// the 1-flit/cycle ejection port, which is what saturates single-node
+// chips long before their links do).
+type flowState struct {
+	flows []flowFlow
+	path  []int32 // element >= ejBase means ejection at router (element-ejBase)
+	load  []float64
+	cap   []float64
+	ser   []float64 // per-element serialization cycles (queueing service time)
+}
+
+func (n *Network) newFlowState() *flowState {
+	fs := &flowState{}
+	nl := len(n.Links)
+	fs.load = make([]float64, nl+len(n.Routers))
+	fs.cap = make([]float64, nl+len(n.Routers))
+	fs.ser = make([]float64, nl+len(n.Routers))
+	return fs
+}
+
+// ejBase offsets router (ejection) elements past the link elements.
+func (fs *flowState) ejBase(n *Network) int32 { return int32(len(n.Links)) }
+
+// trace runs the installed RouteFunc over a phantom packet from srcNode to
+// chip dst, recording the links crossed and the ejection node. It returns
+// false when the route dead-ends, crosses a disabled component, or exceeds
+// flowMaxHops — the caller accounts such flows as refused.
+func (n *Network) trace(fs *flowState, srcNode, dstNode NodeID, src, dst int32, size int32, f *flowFlow) bool {
+	p := Packet{
+		SrcChip: src, DstChip: dst,
+		SrcNode: srcNode, DstNode: dstNode,
+		Size: size, Aux: -1, Aux2: -1,
+	}
+	f.off = int32(len(fs.path))
+	f.n = 0
+	f.base = 0
+	f.hops = [NumHopClasses]uint16{}
+	r := &n.Routers[srcNode]
+	for hop := 0; hop < flowMaxHops; hop++ {
+		out, vc := n.route(n, r, &p)
+		if out < 0 || out >= len(r.Out) {
+			fs.path = fs.path[:f.off]
+			return false
+		}
+		l := r.Out[out].Link
+		if l == nil {
+			// Ejection: the terminal serializes the whole packet at one
+			// flit per cycle, exactly like Router.allocate.
+			fs.path = append(fs.path, fs.ejBase(n)+int32(r.ID))
+			f.n++
+			f.base += int64(size)
+			f.hops[HopEject]++
+			return true
+		}
+		if l.Disabled || n.Routers[l.Dst].Disabled {
+			fs.path = fs.path[:f.off]
+			return false
+		}
+		p.VC = vc
+		p.Hops[l.Class]++
+		f.hops[l.Class]++
+		fs.path = append(fs.path, l.ID)
+		f.n++
+		// Wire + the one-cycle handoff into the next router's input buffer
+		// (the cycle engines deliver at now + Delay + 1).
+		f.base += int64(l.Delay) + 1
+		r = &n.Routers[l.Dst]
+	}
+	fs.path = fs.path[:f.off]
+	return false
+}
+
+// buildFlows expands chip-level demands into node-level flows with traced
+// paths. Demands on a chip are spread round-robin across its injection
+// nodes (matching DstSameIndex's node pairing); demands whose route fails
+// are returned as refused flits/cycle.
+func (n *Network) buildFlows(fs *flowState, demands []FlowDemand, size int32, perChipSeq []int) (refusedRate float64) {
+	fs.flows = fs.flows[:0]
+	fs.path = fs.path[:0]
+	for i := range perChipSeq {
+		perChipSeq[i] = 0
+	}
+	for _, d := range demands {
+		if d.Rate <= 0 {
+			continue
+		}
+		if int(d.Src) >= len(n.ChipNodes) || int(d.Dst) >= len(n.ChipNodes) {
+			refusedRate += d.Rate
+			continue
+		}
+		srcNodes := n.ChipNodes[d.Src]
+		dstNodes := n.ChipNodes[d.Dst]
+		if len(srcNodes) == 0 || len(dstNodes) == 0 {
+			refusedRate += d.Rate
+			continue
+		}
+		idx := perChipSeq[d.Src] % len(srcNodes)
+		perChipSeq[d.Src]++
+		srcNode := srcNodes[idx]
+		dstNode := dstNodes[idx%len(dstNodes)]
+		var f flowFlow
+		f.rate = d.Rate
+		f.x = 1
+		if !n.trace(fs, srcNode, dstNode, d.Src, d.Dst, size, &f) {
+			refusedRate += d.Rate
+			continue
+		}
+		fs.flows = append(fs.flows, f)
+	}
+	return refusedRate
+}
+
+// setCapacities fills per-element capacities and service times: links carry
+// Width flits/cycle and serialize a packet in ceil(size/Width) cycles;
+// ejection ports carry one flit/cycle and serialize in size cycles.
+func (fs *flowState) setCapacities(n *Network, size int32) {
+	eb := int(fs.ejBase(n))
+	for i := range n.Links {
+		l := &n.Links[i]
+		fs.cap[i] = float64(l.Width)
+		fs.ser[i] = float64((size + l.Width - 1) / l.Width)
+	}
+	for i := range n.Routers {
+		fs.cap[eb+i] = 1
+		fs.ser[eb+i] = float64(size)
+	}
+}
+
+// waterfill runs the monotone throttle fixpoint: every flow is scaled by
+// the worst capacity/load ratio along its path until no element is loaded
+// past capacity. The result is a feasible operating point that matches the
+// offered load below saturation and pins the bottleneck elements at
+// capacity above it.
+func (fs *flowState) waterfill() {
+	for iter := 0; iter < flowWaterfillIters; iter++ {
+		for i := range fs.load {
+			fs.load[i] = 0
+		}
+		for i := range fs.flows {
+			f := &fs.flows[i]
+			r := f.rate * f.x
+			for _, e := range fs.path[f.off : f.off+f.n] {
+				fs.load[e] += r
+			}
+		}
+		over := false
+		for i := range fs.flows {
+			f := &fs.flows[i]
+			scale := 1.0
+			for _, e := range fs.path[f.off : f.off+f.n] {
+				if fs.load[e] > fs.cap[e] {
+					if s := fs.cap[e] / fs.load[e]; s < scale {
+						scale = s
+					}
+				}
+			}
+			if scale < 1 {
+				f.x *= scale
+				over = true
+			}
+		}
+		if !over {
+			return
+		}
+	}
+	// One last load pass so the reported loads reflect the final throttles.
+	for i := range fs.load {
+		fs.load[i] = 0
+	}
+	for i := range fs.flows {
+		f := &fs.flows[i]
+		r := f.rate * f.x
+		for _, e := range fs.path[f.off : f.off+f.n] {
+			fs.load[e] += r
+		}
+	}
+}
+
+// latency returns flow f's modeled end-to-end latency: the uncontended
+// base plus an M/D/1 waiting term per traversed element at its solved
+// utilization, capped near saturation so the estimate stays finite.
+func (fs *flowState) latency(f *flowFlow) float64 {
+	lat := float64(f.base)
+	for _, e := range fs.path[f.off : f.off+f.n] {
+		rho := fs.load[e] / fs.cap[e]
+		if rho > flowRhoCap {
+			rho = flowRhoCap
+		}
+		if rho > 0 {
+			lat += rho / (2 * (1 - rho)) * fs.ser[e]
+		}
+	}
+	return lat
+}
+
+// flowAccum accumulates window statistics across churn segments in float
+// precision; the totals are rounded into the shard counters once.
+type flowAccum struct {
+	deliveredFlits float64
+	refusedPkts    float64
+	netLatSum      float64
+	hops           [NumHopClasses]float64
+	linkFlits      []float64
+	hist           LatencyHist
+}
+
+// accumulate folds one solved segment of cyc cycles into the totals.
+func (a *flowAccum) accumulate(fs *flowState, n *Network, size int32, refusedRate float64, cyc int64) {
+	c := float64(cyc)
+	a.refusedPkts += refusedRate * c / float64(size)
+	eb := int(fs.ejBase(n))
+	for i := 0; i < eb; i++ {
+		a.linkFlits[i] += fs.load[i] * c
+	}
+	for i := range fs.flows {
+		f := &fs.flows[i]
+		delivered := f.rate * f.x * c
+		if delivered <= 0 {
+			continue
+		}
+		a.deliveredFlits += delivered
+		pkts := delivered / float64(size)
+		lat := fs.latency(f)
+		a.netLatSum += pkts * lat
+		for h := 0; h < int(NumHopClasses); h++ {
+			a.hops[h] += pkts * float64(f.hops[h])
+		}
+		w := int64(pkts*flowHistScale + 0.5)
+		if w <= 0 {
+			continue
+		}
+		v := int64(lat + 0.5)
+		a.hist.Buckets[bucketIndex(v)] += w
+		a.hist.Count += w
+		a.hist.Sum += v * w
+		if a.hist.Count == w || v < a.hist.Min {
+			a.hist.Min = v
+		}
+		if v > a.hist.Max {
+			a.hist.Max = v
+		}
+	}
+}
+
+// SolveFlow runs one analytical measurement window under EngineFlow. The
+// network must be freshly built or Reset; afterwards Snapshot,
+// LinkUtilization and the energy pricing read exactly as they would after
+// a cycle-engine run of the same window. Armed churn timelines are applied
+// at their event cycles: the window is segmented, each segment re-traces
+// routes (the apply hook has rebuilt routing) and re-solves, and the
+// reported statistics are the segment-length-weighted aggregate.
+func (n *Network) SolveFlow(opts FlowOptions) error {
+	if n.engineKind != EngineFlow {
+		return fmt.Errorf("%w: SolveFlow on engine %v", ErrFlowEngine, n.engineKind)
+	}
+	if opts.Demands == nil || opts.PacketSize <= 0 || opts.Measure <= 0 || opts.Warmup < 0 {
+		return fmt.Errorf("%w: need Demands, PacketSize > 0, Measure > 0, Warmup >= 0", ErrFlowEngine)
+	}
+	size := opts.PacketSize
+	horizon := opts.Warmup + opts.Measure
+
+	// Segment the horizon at pending churn cycles (the cursor marks events
+	// already applied — a Reset rewinds it).
+	starts := []int64{0}
+	if c := n.churn; c != nil {
+		for _, e := range c.events[c.next:] {
+			if e.Cycle > 0 && e.Cycle < horizon && e.Cycle != starts[len(starts)-1] {
+				starts = append(starts, e.Cycle)
+			}
+		}
+	}
+
+	fs := n.newFlowState()
+	acc := flowAccum{linkFlits: make([]float64, len(n.Links))}
+	perChipSeq := make([]int, len(n.ChipNodes))
+	for i, segStart := range starts {
+		segEnd := horizon
+		if i+1 < len(starts) {
+			segEnd = starts[i+1]
+		}
+		n.Cycle = segStart
+		if n.churn != nil {
+			n.applyDueChurn()
+			if err := n.ChurnErr(); err != nil {
+				return err
+			}
+		}
+		// The measured overlap of this segment with the window; segments
+		// entirely inside warmup only advance the churn cursor.
+		cyc := min(segEnd, horizon) - max(segStart, opts.Warmup)
+		if cyc <= 0 {
+			continue
+		}
+		fs.setCapacities(n, size)
+		if n.preAllocate != nil {
+			n.preAllocate(n)
+		}
+		refused := n.buildFlows(fs, opts.Demands(), size, perChipSeq)
+		fs.waterfill()
+		acc.accumulate(fs, n, size, refused, cyc)
+	}
+
+	// Publish the synthesized window: counters into shard 0, per-link
+	// flits, and the [0, Measure) bookkeeping Snapshot/LinkUtilization
+	// expect. The flow model has no in-flight packets, so injected equals
+	// delivered and the drain tail is implicit.
+	deliveredPkts := int64(acc.deliveredFlits/float64(size) + 0.5)
+	ss := &n.shard[0]
+	ss.injectedPkts = deliveredPkts
+	ss.deliveredPkts = deliveredPkts
+	ss.refusedPkts = int64(acc.refusedPkts + 0.5)
+	ss.winFlits = int64(acc.deliveredFlits + 0.5)
+	ss.winPkts = deliveredPkts
+	ss.winNetLatSum = int64(acc.netLatSum + 0.5)
+	for h := 0; h < int(NumHopClasses); h++ {
+		ss.winHops[h] = int64(acc.hops[h] + 0.5)
+	}
+	ss.lat = acc.hist
+	for i := range n.Links {
+		n.Links[i].winFlits = int64(acc.linkFlits[i] + 0.5)
+	}
+	n.measuring = false
+	n.measStart = 0
+	n.measEnd = opts.Measure
+	n.Cycle = opts.Measure
+	return nil
+}
+
+// FlowMakespan estimates the cycles one barrier-separated transfer set
+// needs to complete: the bottleneck element's serialization time plus the
+// longest path's pipeline-fill latency. Transfers whose endpoints are dead
+// or unroutable are skipped (collective schedules recompute over survivors
+// before each solve). Zero transfers complete in zero cycles.
+func (n *Network) FlowMakespan(vols []FlowVolume, packetSize int32) (int64, error) {
+	if packetSize <= 0 {
+		return 0, fmt.Errorf("%w: PacketSize > 0 required", ErrFlowEngine)
+	}
+	fs := n.newFlowState()
+	fs.setCapacities(n, packetSize)
+	if n.preAllocate != nil {
+		n.preAllocate(n)
+	}
+	var maxBase int64
+	for _, v := range vols {
+		if v.Flits <= 0 || int(v.Src) >= len(n.ChipNodes) || int(v.Dst) >= len(n.ChipNodes) {
+			continue
+		}
+		srcNodes := n.ChipNodes[v.Src]
+		dstNodes := n.ChipNodes[v.Dst]
+		if len(srcNodes) == 0 || len(dstNodes) == 0 {
+			continue
+		}
+		perNode := float64(v.Flits) / float64(len(srcNodes))
+		for idx, srcNode := range srcNodes {
+			var f flowFlow
+			f.rate = perNode
+			if !n.trace(fs, srcNode, dstNodes[idx%len(dstNodes)], v.Src, v.Dst, packetSize, &f) {
+				continue
+			}
+			for _, e := range fs.path[f.off : f.off+f.n] {
+				fs.load[e] += perNode
+			}
+			if f.base > maxBase {
+				maxBase = f.base
+			}
+		}
+	}
+	var maxSer float64
+	for i, l := range fs.load {
+		if l <= 0 {
+			continue
+		}
+		if s := l / fs.cap[i]; s > maxSer {
+			maxSer = s
+		}
+	}
+	if maxSer == 0 && maxBase == 0 {
+		return 0, nil
+	}
+	return maxBase + int64(math.Ceil(maxSer)), nil
+}
+
+// FlowSampleCount is the per-chip destination sample count the core layer
+// uses when discretizing a traffic pattern into FlowDemands: dense enough
+// for stable link loads on small systems, thinner at scales where the
+// aggregate over many chips smooths the estimate anyway. Deterministic in
+// the chip count so cached flow points are reproducible.
+func FlowSampleCount(chips int) int {
+	switch {
+	case chips <= 256:
+		// Tiny systems have no cross-chip aggregation to smooth sampling
+		// noise — a multinomial wobble of a few samples shifts a whole
+		// link's load — so they get a dense draw (still microseconds).
+		return 256
+	case chips <= 4096:
+		return 32
+	case chips <= 65536:
+		return 8
+	default:
+		return 4
+	}
+}
+
+// flowRNG returns the deterministic per-chip RNG stream for demand
+// sampling; exported via helper so core and tests share one derivation.
+func FlowDemandRNG(seed uint64, chip int32) engine.RNG {
+	return engine.NewRNGStream(seed^0xF10A11CE, uint64(chip)+1)
+}

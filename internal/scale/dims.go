@@ -7,6 +7,7 @@ import (
 	"sldf/internal/campaign"
 	"sldf/internal/core"
 	"sldf/internal/metrics"
+	"sldf/internal/netsim"
 	"sldf/internal/topology"
 )
 
@@ -28,8 +29,22 @@ const validationRate = 0.1
 // full balanced systems (radix-16: 1312 chips, radix-24: 6120, radix-32:
 // 18560, and beyond).
 func ChipsDimension(kind core.SystemKind, workers int) Dimension {
+	return ChipsDimensionEngine(kind, workers, netsim.EngineActiveSet)
+}
+
+// ChipsDimensionEngine is ChipsDimension with an explicit simulation engine
+// for the validation run. Under netsim.EngineFlow a step's cost is
+// dominated by the build rather than the cycle loop, so the ladder climbs
+// rungs far past the cycle engines' ceiling; a non-default engine is
+// recorded in the dimension name so its trajectory never mixes with
+// cycle-engine baselines.
+func ChipsDimensionEngine(kind core.SystemKind, workers int, eng netsim.EngineKind) Dimension {
+	name := "chips/" + kind.String()
+	if eng != netsim.EngineActiveSet {
+		name += "/" + eng.String()
+	}
 	return Dimension{
-		Name: "chips/" + kind.String(),
+		Name: name,
 		Step: func(i int) (Step, bool) {
 			cfg, label, ok := chipsConfig(kind, i)
 			if !ok {
@@ -38,7 +53,7 @@ func ChipsDimension(kind core.SystemKind, workers int) Dimension {
 			cfg.Seed = 1
 			cfg.Workers = workers
 			return Step{Label: label, Run: func() (StepInfo, error) {
-				return measureSystem(cfg)
+				return measureSystemEngine(cfg, eng)
 			}}, true
 		},
 	}
@@ -202,6 +217,12 @@ func baseConfig(kind core.SystemKind) core.Config {
 // measureSystem builds cfg, captures its footprint, runs the validation
 // load point, and checks the run's structural health.
 func measureSystem(cfg core.Config) (StepInfo, error) {
+	return measureSystemEngine(cfg, netsim.EngineActiveSet)
+}
+
+// measureSystemEngine is measureSystem with an explicit simulation engine
+// for the validation load point.
+func measureSystemEngine(cfg core.Config, eng netsim.EngineKind) (StepInfo, error) {
 	var info StepInfo
 	t0 := time.Now()
 	sys, err := core.Build(cfg)
@@ -217,8 +238,10 @@ func measureSystem(cfg core.Config) (StepInfo, error) {
 	if err != nil {
 		return info, err
 	}
+	sp := simParams()
+	sp.Engine = eng
 	t1 := time.Now()
-	res, err := sys.MeasureLoad(pat, validationRate, simParams())
+	res, err := sys.MeasureLoad(pat, validationRate, sp)
 	info.SimWall = time.Since(t1)
 	if err != nil {
 		return info, err

@@ -125,7 +125,10 @@ func (t FaultTimeline) Resolve(d FaultDomain) []netsim.TimedFault {
 // ParseChurn parses the CLI churn spec: comma-separated key=value pairs,
 // e.g. "links=0.02,routers=0.01,seed=7,start=1000,end=5000,repair=2000,policy=retry".
 // Keys: links, routers (fractions), seed, start, end, repair (cycles),
-// policy (drop|retry). An empty spec returns the empty timeline.
+// policy (drop|retry). Explicit events ride along as tokens of the form
+// [+-][LR]<id>@<cycle> — "-L12@300" kills link 12 at cycle 300, "+R5@900"
+// repairs router 5 at cycle 900 — exactly what ChurnString emits, so every
+// rendered timeline parses back. An empty spec returns the empty timeline.
 func ParseChurn(spec string) (FaultTimeline, error) {
 	t := FaultTimeline{Seed: 1}
 	spec = strings.TrimSpace(spec)
@@ -133,7 +136,16 @@ func ParseChurn(spec string) (FaultTimeline, error) {
 		return FaultTimeline{}, nil
 	}
 	for _, kv := range strings.Split(spec, ",") {
-		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		kv = strings.TrimSpace(kv)
+		if len(kv) >= 2 && (kv[0] == '+' || kv[0] == '-') && (kv[1] == 'L' || kv[1] == 'R') {
+			ev, err := parseChurnEvent(kv)
+			if err != nil {
+				return t, err
+			}
+			t.Events = append(t.Events, ev)
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
 		if !ok {
 			return t, fmt.Errorf("churn: %q is not key=value", kv)
 		}
@@ -172,6 +184,29 @@ func ParseChurn(spec string) (FaultTimeline, error) {
 		return t, err
 	}
 	return t, nil
+}
+
+// parseChurnEvent parses one explicit event token [+-][LR]<id>@<cycle>
+// (ChurnString's rendering): op + is a repair, - a death; L a link ID, R a
+// router ID.
+func parseChurnEvent(tok string) (netsim.TimedFault, error) {
+	idStr, cycStr, ok := strings.Cut(tok[2:], "@")
+	if !ok {
+		return netsim.TimedFault{}, fmt.Errorf("churn: event %q is not [+-][LR]<id>@<cycle>", tok)
+	}
+	id, err := strconv.ParseInt(idStr, 10, 32)
+	if err != nil {
+		return netsim.TimedFault{}, fmt.Errorf("churn: bad event ID in %q: %v", tok, err)
+	}
+	cycle, err := strconv.ParseInt(cycStr, 10, 64)
+	if err != nil {
+		return netsim.TimedFault{}, fmt.Errorf("churn: bad event cycle in %q: %v", tok, err)
+	}
+	repair := tok[0] == '+'
+	if tok[1] == 'L' {
+		return netsim.LinkFault(cycle, int32(id), repair), nil
+	}
+	return netsim.RouterFault(cycle, netsim.NodeID(id), repair), nil
 }
 
 // ChurnString renders the timeline back into ParseChurn's format (used by

@@ -1,0 +1,90 @@
+package topology
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sldf/internal/netsim"
+)
+
+// randTimeline draws a valid armed timeline: every knob in range, explicit
+// events included — the full surface ChurnString renders.
+func randTimeline(r *rand.Rand) FaultTimeline {
+	tl := FaultTimeline{
+		Armed:       true,
+		Seed:        r.Uint64(),
+		LinkChurn:   float64(r.Intn(101)) / 100,
+		RouterChurn: float64(r.Intn(101)) / 100,
+		Start:       int64(r.Intn(10000)),
+		Repair:      int64(r.Intn(5000)),
+	}
+	tl.End = tl.Start + int64(r.Intn(10000))
+	if r.Intn(2) == 0 {
+		tl.Policy = netsim.RetrySource
+	}
+	for n := r.Intn(6); n > 0; n-- {
+		cycle := int64(r.Intn(20000))
+		id := int32(r.Intn(1000))
+		repair := r.Intn(2) == 0
+		if r.Intn(2) == 0 {
+			tl.Events = append(tl.Events, netsim.LinkFault(cycle, id, repair))
+		} else {
+			tl.Events = append(tl.Events, netsim.RouterFault(cycle, netsim.NodeID(id), repair))
+		}
+	}
+	return tl
+}
+
+// TestChurnStringRoundTrip pins the CLI churn grammar: ParseChurn is the
+// exact inverse of ChurnString over randomized valid timelines, explicit
+// event tokens ([+-][LR]<id>@<cycle>) included. This is the property that
+// makes ChurnString-based cache keys and logged timelines replayable
+// through the -churn flags.
+func TestChurnStringRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(0x5EED))
+	for i := 0; i < 1000; i++ {
+		tl := randTimeline(r)
+		spec := tl.ChurnString()
+		got, err := ParseChurn(spec)
+		if err != nil {
+			t.Fatalf("ParseChurn(%q): %v", spec, err)
+		}
+		if !reflect.DeepEqual(got, tl) {
+			t.Fatalf("round trip lost information:\n spec %q\n want %+v\n got  %+v", spec, tl, got)
+		}
+	}
+}
+
+// FuzzParseChurn feeds arbitrary specs through the parser; whatever parses
+// must render (ChurnString) and re-parse to the identical timeline. Crashes
+// and render/re-parse drift both count as failures.
+func FuzzParseChurn(f *testing.F) {
+	f.Add("")
+	f.Add("links=0.02,seed=7,start=2000,end=8000,repair=2000,policy=retry")
+	f.Add("routers=0.5,policy=drop")
+	f.Add("-L12@300")
+	f.Add("+R5@900")
+	f.Add("links=0.1,-L3@5,+R2@9,seed=3")
+	f.Fuzz(func(t *testing.T, spec string) {
+		tl, err := ParseChurn(spec)
+		if err != nil {
+			return // rejected specs only need to not crash
+		}
+		rendered := tl.ChurnString()
+		got, err := ParseChurn(rendered)
+		if err != nil {
+			t.Fatalf("accepted spec %q rendered unparseable %q: %v", spec, rendered, err)
+		}
+		if tl.Empty() {
+			if !got.Empty() {
+				t.Fatalf("empty timeline re-parsed non-empty from %q", rendered)
+			}
+			return
+		}
+		if !reflect.DeepEqual(got, tl) {
+			t.Fatalf("render/re-parse drift:\n spec %q -> %+v\n rendered %q -> %+v",
+				spec, tl, rendered, got)
+		}
+	})
+}
