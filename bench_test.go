@@ -363,6 +363,86 @@ func BenchmarkCampaignReset(b *testing.B) {
 	}
 }
 
+// --- Flow solver ------------------------------------------------------------
+
+// flowBenchSim is benchSim under the analytical engine.
+func flowBenchSim() core.SimParams {
+	sp := benchSim()
+	sp.Engine = netsim.EngineFlow
+	return sp
+}
+
+// BenchmarkFlowSolve times one analytical load point on the full radix-16
+// system (1312 chips), cold (route-trace cache discarded every solve) vs
+// warm (traces reused across Reset — the build-once/measure-many sweep
+// configuration). The warm/cold ratio is the cache's per-point win.
+func BenchmarkFlowSolve(b *testing.B) {
+	cfg := core.Config{Kind: core.SwitchlessDragonfly, SLDF: core.Radix16SLDF(),
+		Seed: 1, Workers: 1}
+	for _, mode := range []struct {
+		name string
+		cold bool
+	}{{"cold", true}, {"warm", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			sys, err := core.Build(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Close()
+			pat, _ := sys.PatternFor("uniform")
+			sp := flowBenchSim()
+			sp.FlowCold = mode.cold
+			if _, err := sys.MeasureLoad(pat, 0.5, sp); err != nil {
+				b.Fatal(err) // populate the cache (and retained buffers) once
+			}
+			sys.Reset()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.MeasureLoad(pat, 0.5, sp); err != nil {
+					b.Fatal(err)
+				}
+				sys.Reset()
+			}
+			fs := sys.Net.FlowSolverStats()
+			b.ReportMetric(float64(fs.Traces)/float64(fs.Solves), "traces/solve")
+		})
+	}
+}
+
+// BenchmarkFlowSweepWarm times a full analytical rate-grid sweep on one
+// system, cold vs warm: the warm variant traces the grid's routes once at
+// the first point and serves every later point from the cache.
+func BenchmarkFlowSweepWarm(b *testing.B) {
+	cfg := core.Config{Kind: core.SwitchlessDragonfly, SLDF: core.Radix16SLDF(),
+		Seed: 1, Workers: 1}
+	rates := core.RateGrid(0.1, 0.8, 0.1)
+	for _, mode := range []struct {
+		name string
+		cold bool
+	}{{"cold", true}, {"warm", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			sys, err := core.Build(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Close()
+			pat, _ := sys.PatternFor("uniform")
+			sp := flowBenchSim()
+			sp.FlowCold = mode.cold
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, rate := range rates {
+					if _, err := sys.MeasureLoad(pat, rate, sp); err != nil {
+						b.Fatal(err)
+					}
+					sys.Reset()
+				}
+			}
+			b.ReportMetric(float64(len(rates)), "points")
+		})
+	}
+}
+
 // --- Simulator kernel -------------------------------------------------------
 
 // benchStep times one simulator cycle at steady state on the single-W-group

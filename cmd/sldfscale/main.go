@@ -38,6 +38,7 @@ func main() {
 		jsonOut     = flag.String("json", "", "write the report as JSON to this file (\"-\" = stdout)")
 		quiet       = flag.Bool("q", false, "suppress per-step progress lines")
 		engine      = flag.String("engine", "", "validation-run engine for -dim chips: active-set (default) | reference | flow (flow climbs far past the cycle ceiling)")
+		flowPar     = flag.Int("flowpar", 0, "flow engine: parallel trace/waterfill workers for the validation run (0 = serial; results identical)")
 	)
 	flag.Parse()
 
@@ -52,7 +53,7 @@ func main() {
 	var d scale.Dimension
 	switch *dim {
 	case "chips":
-		d = scale.ChipsDimensionEngine(k, *workers, eng)
+		d = scale.ChipsDimensionEngine(k, *workers, eng, *flowPar)
 	case "faults":
 		if eng != netsim.EngineActiveSet {
 			fatal(fmt.Errorf("-engine applies to -dim chips only"))

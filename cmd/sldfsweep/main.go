@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"sldf/internal/campaign"
 	"sldf/internal/campaign/remote"
@@ -46,7 +47,7 @@ import (
 func main() {
 	var (
 		systems  = flag.String("systems", "sw-based,sw-less", "comma-separated systems: sw-based | sw-less | sw-less-2B | sw-less-4B | switch | mesh, each with optional -mis suffix for Valiant routing")
-		size     = flag.String("size", "radix16", "scale: radix16 | radix24 | radix32")
+		size     = flag.String("size", "radix16", "scale: radix16 | radix24 | radix32 | radix56")
 		pattern  = flag.String("pattern", "uniform", "traffic pattern")
 		from     = flag.Float64("from", 0.1, "first injection rate")
 		to       = flag.Float64("to", 1.0, "last injection rate")
@@ -65,6 +66,10 @@ func main() {
 		faultSeed    = flag.Uint64("faultseed", 1, "fault-sampling seed (same spec + seed = same failures)")
 		churn        = flag.String("churn", "", "in-run fault timeline, e.g. links=0.02,routers=0.01,seed=7,start=1000,end=5000,repair=2000,policy=retry (empty = no churn)")
 		engine       = flag.String("engine", "", "simulation engine: active-set (default) | reference | flow")
+
+		flowPar  = flag.Int("flowpar", 0, "flow engine: parallel trace/waterfill workers per point (0 = serial; CSV identical for any value)")
+		flowCold = flag.Bool("flowcold", false, "flow engine: re-trace every route at every point (CSV identical, for timing baselines)")
+		flowSeed = flag.Bool("flowseed", false, "flow engine: warm-start waterfill throttles from the adjacent point (APPROXIMATE: partitions the point cache)")
 	)
 	prof := profiling.Flags()
 	flag.Parse()
@@ -88,6 +93,9 @@ func main() {
 	if sp.Engine, err = core.ParseEngine(*engine); err != nil {
 		fatalf("%v", err)
 	}
+	sp.FlowWorkers = *flowPar
+	sp.FlowCold = *flowCold
+	sp.FlowSeedThrottles = *flowSeed
 
 	opts := core.RunOptions{Jobs: *jobs}
 	var diskCache *campaign.Cache
@@ -123,10 +131,13 @@ func main() {
 		cfg.Faults = faultSpecFromFlags(*faults, *faultRouters, *faultSeed)
 		cfg.Churn = timeline
 		fmt.Fprintf(os.Stderr, "sweeping %s over %d rates...\n", name, len(rates))
+		t0 := time.Now()
 		s, err := core.SweepOpts(cfg, *pattern, rates, sp, opts)
 		if err != nil {
 			fatalf("sweep %s: %v", name, err)
 		}
+		fmt.Fprintf(os.Stderr, "sweep %s: %d rates in %v (incl. build)\n",
+			name, len(rates), time.Since(t0).Round(time.Millisecond))
 		s.Label = name
 		fig.Series = append(fig.Series, s)
 	}
@@ -173,6 +184,8 @@ func parseSystem(name, size string, groups int) (core.Config, error) {
 			cfg.DF = core.Radix24DF()
 		case "radix32":
 			cfg.DF = core.Radix32DF()
+		case "radix56":
+			cfg.DF = core.Radix56DF()
 		default:
 			return cfg, fmt.Errorf("unknown size %q", size)
 		}
@@ -189,6 +202,8 @@ func parseSystem(name, size string, groups int) (core.Config, error) {
 			cfg.SLDF = core.Radix24SLDF()
 		case "radix32":
 			cfg.SLDF = core.Radix32SLDF()
+		case "radix56":
+			cfg.SLDF = core.Radix56SLDF()
 		default:
 			return cfg, fmt.Errorf("unknown size %q", size)
 		}

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"sldf/internal/core"
 	"sldf/internal/netsim"
@@ -23,7 +24,7 @@ import (
 func main() {
 	var (
 		system   = flag.String("system", "sw-less", "system: sw-less | sw-based | switch | mesh")
-		size     = flag.String("size", "radix16", "scale: radix16 | radix24 | radix32")
+		size     = flag.String("size", "radix16", "scale: radix16 | radix24 | radix32 | radix56")
 		pattern  = flag.String("pattern", "uniform", "traffic: uniform | bit-reverse | bit-shuffle | bit-transpose | hotspot | worst-case | ring | ring-bidir")
 		rate     = flag.Float64("rate", 0.5, "offered load in flits/cycle/chip")
 		mode     = flag.String("mode", "minimal", "routing mode: minimal | valiant | valiant-lower | adaptive")
@@ -37,6 +38,11 @@ func main() {
 		printKey = flag.Bool("printkey", false, "also print the point's content-addressed campaign job key (correlates with -cache stores and sldfd workers)")
 		churn    = flag.String("churn", "", "in-run fault timeline, e.g. links=0.02,seed=7,start=2000,end=8000,repair=2000,policy=retry (empty = no churn)")
 		engine   = flag.String("engine", "", "simulation engine: active-set (default) | reference | flow")
+
+		flowPar   = flag.Int("flowpar", 0, "flow engine: parallel trace/waterfill workers (0 = serial; results identical for any value)")
+		flowCold  = flag.Bool("flowcold", false, "flow engine: discard the route-trace cache before the solve (results identical, for timing baselines)")
+		flowSeed  = flag.Bool("flowseed", false, "flow engine: seed waterfill throttles from the previous solve (APPROXIMATE: results may differ)")
+		flowStats = flag.Bool("flowstats", false, "flow engine: print cumulative solver statistics (traces, cache hits, phase walls) after the run")
 	)
 	prof := profiling.Flags()
 	flag.Parse()
@@ -85,6 +91,8 @@ func main() {
 			cfg.SLDF = core.Radix24SLDF()
 		case "radix32":
 			cfg.SLDF = core.Radix32SLDF()
+		case "radix56":
+			cfg.SLDF = core.Radix56SLDF()
 		default:
 			fatalf("unknown size %q", *size)
 		}
@@ -100,6 +108,8 @@ func main() {
 			cfg.DF = core.Radix24DF()
 		case "radix32":
 			cfg.DF = core.Radix32DF()
+		case "radix56":
+			cfg.DF = core.Radix56DF()
 		default:
 			fatalf("unknown size %q", *size)
 		}
@@ -133,6 +143,9 @@ func main() {
 	if sp.Engine, err = core.ParseEngine(*engine); err != nil {
 		fatalf("%v", err)
 	}
+	sp.FlowWorkers = *flowPar
+	sp.FlowCold = *flowCold
+	sp.FlowSeedThrottles = *flowSeed
 	if *printKey {
 		// The same (config, pattern, rate, window) measured by a sweep —
 		// locally or on a worker daemon — stores its point under this key.
@@ -162,6 +175,16 @@ func main() {
 		st.MeanHops(netsim.HopLongLocal), st.MeanHops(netsim.HopGlobal))
 	fmt.Printf("energy   : %.1f pJ/bit (intra-C-group %.1f + inter-C-group %.1f)\n",
 		res.Energy.Total(), res.Energy.IntraCGroup, res.Energy.InterCGroup)
+	if *flowStats {
+		fs := sys.Net.FlowSolverStats()
+		fmt.Printf("flow     : %d solves, %d segments, %d traces, %d cache hits, %d evicted, %d full invalidations\n",
+			fs.Solves, fs.Segments, fs.Traces, fs.CacheHits, fs.Evicted, fs.FullInvalidations)
+		fmt.Printf("flow     : %d waterfill rounds, %d transpose builds\n",
+			fs.WaterfillIters, fs.TransposeBuilds)
+		fmt.Printf("flowwall : trace %v, waterfill %v, histogram %v\n",
+			fs.TraceWall.Round(time.Microsecond), fs.WaterfillWall.Round(time.Microsecond),
+			fs.HistWall.Round(time.Microsecond))
+	}
 }
 
 func fatalf(format string, args ...any) {

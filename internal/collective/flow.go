@@ -37,19 +37,26 @@ func RunStepsFlow(net *netsim.Network, s Schedule, packetSize int32, lo, hi int)
 		counts[c] = len(net.ChipNodes[c])
 	}
 	var res Result
+	// One volume buffer serves every step: FlowMakespan copies what it needs
+	// before returning, so reuse keeps a long schedule allocation-free.
+	vols := make([]netsim.FlowVolume, 0, len(counts))
+	var allChips []int32
 	for i := lo; i < hi; i++ {
 		step := s.Steps[i]
 		participants := step.Participants
 		if participants == nil {
-			participants = make([]int32, 0, len(counts))
-			for c := range counts {
-				if counts[c] > 0 {
-					participants = append(participants, int32(c))
+			if allChips == nil {
+				allChips = make([]int32, 0, len(counts))
+				for c := range counts {
+					if counts[c] > 0 {
+						allChips = append(allChips, int32(c))
+					}
 				}
 			}
+			participants = allChips
 		}
 		rng := engine.NewRNGStream(0x51EBF10A, uint64(i))
-		vols := make([]netsim.FlowVolume, 0, len(participants))
+		vols = vols[:0]
 		var pkts int64
 		for _, src := range participants {
 			if int(src) >= len(counts) || counts[src] == 0 || step.Flits <= 0 {

@@ -110,6 +110,21 @@ type SimParams struct {
 	// pinned error bounds validated in the cross-engine suite, but usable
 	// orders of magnitude past the cycle engines' scale ceiling.
 	Engine netsim.EngineKind
+
+	// FlowWorkers sets the flow solver's intra-point parallelism under
+	// EngineFlow (<= 0 keeps the solver serial). Like Workers and
+	// WatchdogCycles it is a pure execution knob — statistics are
+	// bit-identical for any value — so it is excluded from point cache keys.
+	FlowWorkers int
+	// FlowCold discards the flow solver's route-trace cache before every
+	// solve, forcing cold-start behavior. Results are identical either way;
+	// the knob exists for benchmarking and equivalence harnesses.
+	FlowCold bool
+	// FlowSeedThrottles warm-starts the flow waterfill from the adjacent
+	// point's solution. APPROXIMATE (see netsim.FlowOptions.SeedThrottles):
+	// unlike the other flow knobs it can shift results, so it is reflected
+	// in point cache keys and should only be enabled for exploratory sweeps.
+	FlowSeedThrottles bool
 }
 
 // ParseEngine maps a CLI -engine value to its kind. The empty string is
@@ -171,6 +186,19 @@ func Radix24SLDF() topology.SLDFParams {
 // Radix24DF is the matching switch-based stand-in (6:11:7).
 func Radix24DF() topology.DragonflyParams {
 	return topology.DragonflyParams{P: 6, A: 12, H: 7}
+}
+
+// Radix56SLDF is the 100k+-chip rung of the balanced family (14 chips per
+// C-group, 28 C-groups per W-group, 421 W-groups, 165 032 chips): far past
+// the cycle engines' ceiling, it exists for the flow solver's scale
+// validation and the warm-sweep wall-clock benchmarks.
+func Radix56SLDF() topology.SLDFParams {
+	return topology.SLDFParams{NoCDim: 2, ChipCols: 7, ChipRows: 2, AB: 28, H: 15}
+}
+
+// Radix56DF is the matching 165 032-terminal switch-based system (14:27:15).
+func Radix56DF() topology.DragonflyParams {
+	return topology.DragonflyParams{P: 14, A: 28, H: 15}
 }
 
 func (c Config) validate() error {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sldf/internal/energy"
+	"sldf/internal/engine"
 	"sldf/internal/metrics"
 	"sldf/internal/netsim"
 	"sldf/internal/traffic"
@@ -23,12 +24,20 @@ func (s *System) flowDemands(pat traffic.Pattern, rate float64) []netsim.FlowDem
 	fpat := traffic.FilterDead(pat, s.aliveChips)
 	samples := netsim.FlowSampleCount(s.Chips)
 	per := rate / float64(samples)
-	demands := make([]netsim.FlowDemand, 0, s.Chips*samples)
+	// The demand buffer is retained on the System so steady-state sweep
+	// points (and churn re-segments) allocate nothing here.
+	if cap(s.flowDemandBuf) < s.Chips*samples {
+		s.flowDemandBuf = make([]netsim.FlowDemand, 0, s.Chips*samples)
+	}
+	demands := s.flowDemandBuf[:0]
+	// One RNG variable reused across chips: &rng escapes through the
+	// Pattern interface, so a loop-local would heap-allocate per chip.
+	var rng engine.RNG
 	for c := int32(0); int(c) < s.Chips; c++ {
 		if len(s.Net.ChipNodes[c]) == 0 {
 			continue
 		}
-		rng := netsim.FlowDemandRNG(s.Cfg.Seed, c)
+		rng = netsim.FlowDemandRNG(s.Cfg.Seed, c)
 		for i := 0; i < samples; i++ {
 			dst := fpat.Dest(c, &rng)
 			if dst < 0 {
@@ -37,6 +46,7 @@ func (s *System) flowDemands(pat traffic.Pattern, rate float64) []netsim.FlowDem
 			demands = append(demands, netsim.FlowDemand{Src: c, Dst: dst, Rate: per})
 		}
 	}
+	s.flowDemandBuf = demands
 	return demands
 }
 
@@ -45,10 +55,13 @@ func (s *System) flowDemands(pat traffic.Pattern, rate float64) []netsim.FlowDem
 // armed churn timeline), then the same Snapshot/utilization/energy surface.
 func (s *System) measureLoadFlow(pat traffic.Pattern, rate float64, sp SimParams) (Result, error) {
 	err := s.Net.SolveFlow(netsim.FlowOptions{
-		Demands:    func() []netsim.FlowDemand { return s.flowDemands(pat, rate) },
-		PacketSize: sp.PacketSize,
-		Warmup:     sp.Warmup,
-		Measure:    sp.Measure,
+		Demands:       func() []netsim.FlowDemand { return s.flowDemands(pat, rate) },
+		PacketSize:    sp.PacketSize,
+		Warmup:        sp.Warmup,
+		Measure:       sp.Measure,
+		Workers:       sp.FlowWorkers,
+		Cold:          sp.FlowCold,
+		SeedThrottles: sp.FlowSeedThrottles,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("%s flow solve: %w", s.Label, err)

@@ -48,6 +48,16 @@ type System struct {
 	// rateGen is the reusable injection generator: MeasureLoad reinitializes
 	// it in place so a sweep's measurement loop allocates nothing per point.
 	rateGen traffic.Rate
+
+	// flowDemandBuf is the retained demand-matrix buffer for the flow
+	// engine's sampling pass (see flowDemands).
+	flowDemandBuf []netsim.FlowDemand
+
+	// routeDirty records that a churn batch swapped the network's routing
+	// mid-run. Reset reinstalls the build-time tables only in that case:
+	// SetRoute discards the flow solver's route-trace cache, so reinstalling
+	// unconditionally would cold-start every point of a churn-armed sweep.
+	routeDirty bool
 }
 
 // DeadChips returns the chips the fault set removed from the workload.
@@ -291,6 +301,7 @@ func (sys *System) armChurn() error {
 	}
 	events := sys.Cfg.Churn.Resolve(sys.churnDomain)
 	return sys.Net.ScheduleChurn(events, sys.Cfg.Churn.Policy, func(*netsim.Network) error {
+		sys.routeDirty = true
 		if err := sys.reroute(); err != nil {
 			return err
 		}
@@ -364,8 +375,9 @@ func (s *System) Close() { s.Net.Close() }
 func (s *System) Reset() {
 	s.Net.Reset()
 	if s.Net.ChurnArmed() {
-		if s.installBase != nil {
+		if s.routeDirty && s.installBase != nil {
 			s.installBase()
+			s.routeDirty = false
 		}
 		s.refreshAliveChips()
 	}

@@ -108,6 +108,16 @@ type churnState struct {
 	// tables reflect the whole batch, so a retry can never target a router
 	// that a later event of the same batch kills.
 	scratch []strandedRef
+
+	// toggledRouters/toggledLinks record the components that actually
+	// flipped alive<->dead while the current batch applied; the flow
+	// solver's route-trace cache evicts exactly the entries whose paths
+	// cross them. appliedAny marks that some batch has been applied since
+	// the last Reset, so resetChurn knows cached traces reflect a mutated
+	// component set and must be discarded when the base state is restored.
+	toggledRouters []NodeID
+	toggledLinks   []int32
+	appliedAny     bool
 }
 
 // strandedRef is one packet awaiting post-batch disposal, tagged with the
@@ -241,6 +251,9 @@ func (n *Network) applyDueChurn() {
 // engine phases.
 func (n *Network) applyChurnBatch(batch []TimedFault) {
 	c := n.churn
+	c.toggledRouters = c.toggledRouters[:0]
+	c.toggledLinks = c.toggledLinks[:0]
+	c.appliedAny = true
 	for _, e := range batch {
 		if e.Repair {
 			n.repairOne(e)
@@ -248,6 +261,7 @@ func (n *Network) applyChurnBatch(batch []TimedFault) {
 			n.killOne(e)
 		}
 	}
+	n.flowInvalidateChurn(c.toggledRouters, c.toggledLinks)
 	n.rebuildChipNodes()
 	for _, s := range c.scratch {
 		n.strandPacket(s.ref, n.arena.at(s.ref), int(s.shard))
@@ -274,6 +288,7 @@ func (n *Network) killOne(e TimedFault) {
 			return // already down (base fault or earlier death)
 		}
 		r.Disabled = true
+		c.toggledRouters = append(c.toggledRouters, e.Router)
 		n.clearRouter(r)
 		for p := range r.In {
 			if l := r.In[p].Link; l != nil {
@@ -299,6 +314,7 @@ func (n *Network) killLink(l *Link) {
 		return
 	}
 	l.Disabled = true
+	n.churn.toggledLinks = append(n.churn.toggledLinks, l.ID)
 	for {
 		ref, ok := l.data.popReady(1 << 62)
 		if !ok {
@@ -357,6 +373,7 @@ func (n *Network) repairOne(e TimedFault) {
 			return
 		}
 		r.Disabled = false
+		c.toggledRouters = append(c.toggledRouters, e.Router)
 		n.clearRouter(r) // queues are already empty; re-zeroes port state
 		for p := range r.In {
 			if l := r.In[p].Link; l != nil {
@@ -396,6 +413,7 @@ func (n *Network) maybeReviveLink(l *Link) {
 		return
 	}
 	l.Disabled = false
+	c.toggledLinks = append(c.toggledLinks, l.ID)
 	l.data.clear()
 	l.credit.clear()
 	src := &n.Routers[l.Src]
@@ -699,4 +717,12 @@ func (n *Network) resetChurn() {
 	n.rebuildShardLists()
 	c.next = 0
 	c.err = nil
+	// Cached route traces were computed against the mutated component set;
+	// restoring the base state invalidates them wholesale. A reset that
+	// never applied an event keeps the cache — that is the common
+	// build-once/measure-many sweep case.
+	if c.appliedAny {
+		n.flowInvalidateAll()
+		c.appliedAny = false
+	}
 }

@@ -66,6 +66,9 @@ func (n *Network) applyFaults(routers []NodeID, links []int32) (deadChips []int3
 	if n.Cycle != 0 {
 		return nil, fmt.Errorf("netsim: ApplyFaults after %d simulated cycles; faults are build-time only", n.Cycle)
 	}
+	// Build-time faults change connectivity wholesale; discard any cached
+	// route traces up front (the mutation below is not transactional).
+	n.flowInvalidateAll()
 	for _, id := range routers {
 		if id < 0 || int(id) >= len(n.Routers) {
 			return nil, fmt.Errorf("netsim: fault router %d out of range [0,%d)", id, len(n.Routers))

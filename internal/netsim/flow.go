@@ -18,13 +18,37 @@ package netsim
 // segmenting the measurement window at event cycles and re-solving per
 // segment (SolveFlow), which is what keeps churn campaigns working
 // unchanged under EngineFlow.
+//
+// The solve is amortized and parallel:
+//
+//   - Traced routes live in a network-owned, epoch-versioned cache
+//     (tracecache.go) that survives Reset, so a build-once/measure-many
+//     sweep traces each (source node, destination node) pair once. SetRoute
+//     and build-time faults discard everything; churn batches evict only
+//     the entries whose paths crossed a toggled component.
+//   - Route tracing fans out across a solver-owned worker pool: phantom
+//     traces draw their randomized decisions from per-pair streams
+//     (Packet.TraceRNG), making each trace a pure function of network
+//     state, safe to run concurrently and identical for any worker count.
+//   - The waterfill load pass runs element-major over a flow-incidence
+//     transpose: each element's load is a fixed-order reduction over its
+//     incident flows, so partitioning elements (or flows, for the throttle
+//     pass) across workers cannot change a single bit of the result.
+//
+// Serial and parallel solves are therefore bitwise identical; the knobs in
+// FlowOptions are pure execution controls — except SeedThrottles, which
+// warm-starts the waterfill from the previous solution and is documented
+// approximate.
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
+	"time"
 
 	"sldf/internal/engine"
+	"sldf/internal/profiling"
 )
 
 // FlowDemand is one steady-state flow of the sampled traffic matrix: chip
@@ -55,6 +79,38 @@ type FlowOptions struct {
 	// reported window, mirroring the cycle engines' Run(Warmup) /
 	// StartMeasurement / Run(Measure) sequence.
 	Warmup, Measure int64
+
+	// Workers, when positive, sets the solver's parallelism (equivalent to
+	// SetFlowWorkers). Statistics are bit-identical for any worker count.
+	Workers int
+	// Cold discards the route-trace cache before solving, forcing a full
+	// re-trace. Results are identical with or without it; the knob exists
+	// for benchmarking and equivalence harnesses.
+	Cold bool
+	// SeedThrottles warm-starts the waterfill from the previous solve's
+	// throttles when the flow structure is unchanged (adjacent rate-grid
+	// points). APPROXIMATE: the monotone fixpoint can converge to a
+	// slightly different operating point than a cold start; keep it off
+	// when bit-reproducibility across invocation orders matters.
+	SeedThrottles bool
+}
+
+// FlowStats reports cumulative flow-solver diagnostics for a network:
+// phase wall times and cache effectiveness counters. Read with
+// Network.FlowSolverStats; surfaced by slsim -flowstats.
+type FlowStats struct {
+	Solves            int64 // SolveFlow calls
+	Segments          int64 // churn segments solved (>= Solves)
+	Traces            int64 // fresh route traces performed
+	CacheHits         int64 // flows served from the route-trace cache
+	Evicted           int64 // entries selectively evicted by churn batches
+	FullInvalidations int64 // cache-wide discards (SetRoute, faults, Cold)
+	WaterfillIters    int64 // waterfill rounds run
+	TransposeBuilds   int64 // flow-incidence transpose rebuilds
+
+	TraceWall     time.Duration // wall time tracing routes
+	WaterfillWall time.Duration // wall time in the throttle fixpoint
+	HistWall      time.Duration // wall time synthesizing stats/histograms
 }
 
 // ErrFlowEngine wraps flow-solver usage errors.
@@ -76,209 +132,548 @@ const flowWaterfillIters = 24
 // flowRhoCap keeps the M/D/1 waiting-time term finite at saturation.
 const flowRhoCap = 0.98
 
-// flowFlow is one node-level flow: its offered rate, solved throttle, and
-// traced path (links crossed plus the ejection node) as an offset/length
-// into flowState.path.
+// flowTraceSeed derives the per-pair trace RNG streams from the network
+// seed, keeping them disjoint from the per-router and demand streams.
+const flowTraceSeed = 0x7C0FFEE5EEDF10A7
+
+// pprof phase labels (see internal/profiling); free unless a CPU profile
+// is being captured.
+var (
+	flowPhaseTrace     = profiling.NewPhase("flow-trace")
+	flowPhaseWaterfill = profiling.NewPhase("flow-waterfill")
+	flowPhaseHist      = profiling.NewPhase("flow-histogram")
+)
+
+// flowFlow is one node-level flow of the current solve: its offered rate,
+// solved throttle, and the route-cache entry holding its traced path.
+// entry < 0 marks a demand refused before tracing (dead or out-of-range
+// endpoint).
 type flowFlow struct {
-	rate float64 // offered flits/cycle on this node-level flow
-	x    float64 // throttle after waterfilling (delivered = rate*x)
-	base int64   // uncontended end-to-end latency in cycles
-	off  int32   // path start in flowState.path
-	n    int32   // path element count
-	hops [NumHopClasses]uint16
+	rate  float64 // offered flits/cycle on this node-level flow
+	x     float64 // throttle after waterfilling (delivered = rate*x)
+	entry int32
 }
 
-// flowState is the per-solve scratch: flows with flattened paths, and one
-// load/capacity slot per link plus one per router (the router slots model
-// the 1-flit/cycle ejection port, which is what saturates single-node
-// chips long before their links do).
-type flowState struct {
-	flows []flowFlow
-	path  []int32 // element >= ejBase means ejection at router (element-ejBase)
-	load  []float64
-	cap   []float64
-	ser   []float64 // per-element serialization cycles (queueing service time)
+// traceResult is one finished route trace, with its path in the tracing
+// worker's scratch buffer until the deterministic merge copies it into the
+// cache arena.
+type traceResult struct {
+	base   int64
+	off, n int32
+	wrk    int32
+	ok     bool
+	hops   [NumHopClasses]uint16
 }
 
-func (n *Network) newFlowState() *flowState {
-	fs := &flowState{}
-	nl := len(n.Links)
-	fs.load = make([]float64, nl+len(n.Routers))
-	fs.cap = make([]float64, nl+len(n.Routers))
-	fs.ser = make([]float64, nl+len(n.Routers))
-	return fs
+// flowSolver is the network-owned solver state: the route-trace cache plus
+// every per-solve buffer, retained across solves (and Reset) so steady-state
+// campaign points allocate nothing. One load/capacity slot exists per link
+// plus one per router — the router slots model the 1-flit/cycle ejection
+// port, which is what saturates single-node chips long before their links
+// do; cached path elements >= len(Links) are ejection elements.
+type flowSolver struct {
+	cache *traceCache
+
+	flows      []flowFlow
+	perChipSeq []int
+	load       []float64
+	cap        []float64
+	ser        []float64 // per-element serialization cycles (queueing service time)
+	capSize    int32     // packet size cap/ser currently reflect (0 = stale)
+
+	// Flow-incidence transpose (CSR): for element el, elemFlow[elemOff[el]:
+	// elemOff[el+1]] lists the incident flow indices in flow order. shape
+	// hashes the flow structure (and cache generation) the transpose was
+	// built for, so warm sweep points skip the rebuild.
+	elemOff  []int32
+	elemCur  []int32
+	elemFlow []int32
+	shape    uint64
+
+	// Previous solution for opt-in throttle seeding.
+	prevX, prevRate []float64
+	prevShape       uint64
+
+	// Pending-trace worklist and per-worker scratch.
+	pending   []int32
+	results   []traceResult
+	traceBufs [][]int32
+	traceNext atomic.Int64
+	traceSize int32
+
+	workers int
+	pool    *engine.Pool
+
+	// Waterfill active sets: the monotone scheme only ever lowers
+	// throttles, so loads only ever drop and the over-capacity element set
+	// only shrinks — each round touches the congested neighborhood, not
+	// the whole network. Stamps dedupe the per-round worklists; stamp
+	// values are never reused (see waterfill's wrap guard).
+	overElems []int32 // elements still loaded past capacity
+	cand      []int32 // flows crossing an over-capacity element this round
+	dirty     []int32 // elements whose incident flows were rescaled
+	flowStamp []int32
+	elemStamp []int32
+	stamp     int32
+
+	// Persistent phase closures, built once so solves allocate nothing.
+	traceFn, loadFn, scaleFn, loadListFn func(int)
+
+	starts []int64
+	accum  flowAccum
+
+	stats FlowStats
 }
 
-// ejBase offsets router (ejection) elements past the link elements.
-func (fs *flowState) ejBase(n *Network) int32 { return int32(len(n.Links)) }
-
-// trace runs the installed RouteFunc over a phantom packet from srcNode to
-// chip dst, recording the links crossed and the ejection node. It returns
-// false when the route dead-ends, crosses a disabled component, or exceeds
-// flowMaxHops — the caller accounts such flows as refused.
-func (n *Network) trace(fs *flowState, srcNode, dstNode NodeID, src, dst int32, size int32, f *flowFlow) bool {
-	p := Packet{
-		SrcChip: src, DstChip: dst,
-		SrcNode: srcNode, DstNode: dstNode,
-		Size: size, Aux: -1, Aux2: -1,
+// flowSolver returns the network's solver, creating it on first use. The
+// solver (and its route-trace cache) lives as long as the network and
+// deliberately survives Reset: a build-once/measure-many sweep re-traces
+// nothing between points.
+func (n *Network) flowSolver() *flowSolver {
+	if n.flow != nil {
+		return n.flow
 	}
-	f.off = int32(len(fs.path))
-	f.n = 0
-	f.base = 0
-	f.hops = [NumHopClasses]uint16{}
-	r := &n.Routers[srcNode]
-	for hop := 0; hop < flowMaxHops; hop++ {
-		out, vc := n.route(n, r, &p)
-		if out < 0 || out >= len(r.Out) {
-			fs.path = fs.path[:f.off]
-			return false
-		}
-		l := r.Out[out].Link
-		if l == nil {
-			// Ejection: the terminal serializes the whole packet at one
-			// flit per cycle, exactly like Router.allocate.
-			fs.path = append(fs.path, fs.ejBase(n)+int32(r.ID))
-			f.n++
-			f.base += int64(size)
-			f.hops[HopEject]++
-			return true
-		}
-		if l.Disabled || n.Routers[l.Dst].Disabled {
-			fs.path = fs.path[:f.off]
-			return false
-		}
-		p.VC = vc
-		p.Hops[l.Class]++
-		f.hops[l.Class]++
-		fs.path = append(fs.path, l.ID)
-		f.n++
-		// Wire + the one-cycle handoff into the next router's input buffer
-		// (the cycle engines deliver at now + Delay + 1).
-		f.base += int64(l.Delay) + 1
-		r = &n.Routers[l.Dst]
+	elems := len(n.Links) + len(n.Routers)
+	fl := &flowSolver{
+		cache:      newTraceCache(),
+		perChipSeq: make([]int, len(n.ChipNodes)),
+		load:       make([]float64, elems),
+		cap:        make([]float64, elems),
+		ser:        make([]float64, elems),
+		elemOff:    make([]int32, elems+1),
+		elemCur:    make([]int32, elems),
+		elemStamp:  make([]int32, elems),
+		traceBufs:  make([][]int32, 1),
+		workers:    1,
 	}
-	fs.path = fs.path[:f.off]
-	return false
-}
-
-// buildFlows expands chip-level demands into node-level flows with traced
-// paths. Demands on a chip are spread round-robin across its injection
-// nodes (matching DstSameIndex's node pairing); demands whose route fails
-// are returned as refused flits/cycle.
-func (n *Network) buildFlows(fs *flowState, demands []FlowDemand, size int32, perChipSeq []int) (refusedRate float64) {
-	fs.flows = fs.flows[:0]
-	fs.path = fs.path[:0]
-	for i := range perChipSeq {
-		perChipSeq[i] = 0
-	}
-	for _, d := range demands {
-		if d.Rate <= 0 {
-			continue
-		}
-		if int(d.Src) >= len(n.ChipNodes) || int(d.Dst) >= len(n.ChipNodes) {
-			refusedRate += d.Rate
-			continue
-		}
-		srcNodes := n.ChipNodes[d.Src]
-		dstNodes := n.ChipNodes[d.Dst]
-		if len(srcNodes) == 0 || len(dstNodes) == 0 {
-			refusedRate += d.Rate
-			continue
-		}
-		idx := perChipSeq[d.Src] % len(srcNodes)
-		perChipSeq[d.Src]++
-		srcNode := srcNodes[idx]
-		dstNode := dstNodes[idx%len(dstNodes)]
-		var f flowFlow
-		f.rate = d.Rate
-		f.x = 1
-		if !n.trace(fs, srcNode, dstNode, d.Src, d.Dst, size, &f) {
-			refusedRate += d.Rate
-			continue
-		}
-		fs.flows = append(fs.flows, f)
-	}
-	return refusedRate
-}
-
-// setCapacities fills per-element capacities and service times: links carry
-// Width flits/cycle and serialize a packet in ceil(size/Width) cycles;
-// ejection ports carry one flit/cycle and serialize in size cycles.
-func (fs *flowState) setCapacities(n *Network, size int32) {
-	eb := int(fs.ejBase(n))
-	for i := range n.Links {
-		l := &n.Links[i]
-		fs.cap[i] = float64(l.Width)
-		fs.ser[i] = float64((size + l.Width - 1) / l.Width)
-	}
-	for i := range n.Routers {
-		fs.cap[eb+i] = 1
-		fs.ser[eb+i] = float64(size)
-	}
-}
-
-// waterfill runs the monotone throttle fixpoint: every flow is scaled by
-// the worst capacity/load ratio along its path until no element is loaded
-// past capacity. The result is a feasible operating point that matches the
-// offered load below saturation and pins the bottleneck elements at
-// capacity above it.
-func (fs *flowState) waterfill() {
-	for iter := 0; iter < flowWaterfillIters; iter++ {
-		for i := range fs.load {
-			fs.load[i] = 0
-		}
-		for i := range fs.flows {
-			f := &fs.flows[i]
-			r := f.rate * f.x
-			for _, e := range fs.path[f.off : f.off+f.n] {
-				fs.load[e] += r
+	fl.traceFn = func(w int) {
+		buf := fl.traceBufs[w][:0]
+		for {
+			i := int(fl.traceNext.Add(1)) - 1
+			if i >= len(fl.pending) {
+				break
 			}
+			e := &fl.cache.entries[fl.pending[i]]
+			src, dst := pairFromKey(e.key)
+			nb, res := n.traceOne(buf, src, dst, fl.traceSize)
+			res.wrk = int32(w)
+			fl.results[i] = res
+			buf = nb
 		}
-		over := false
-		for i := range fs.flows {
-			f := &fs.flows[i]
+		fl.traceBufs[w] = buf
+	}
+	fl.loadFn = func(w int) {
+		lo, hi := engine.ShardBounds(len(fl.load), fl.workers, w)
+		for el := lo; el < hi; el++ {
+			s := 0.0
+			for k := fl.elemOff[el]; k < fl.elemOff[el+1]; k++ {
+				f := &fl.flows[fl.elemFlow[k]]
+				s += f.rate * f.x
+			}
+			fl.load[el] = s
+		}
+	}
+	fl.scaleFn = func(w int) {
+		lo, hi := engine.ShardBounds(len(fl.cand), fl.workers, w)
+		for i := lo; i < hi; i++ {
+			f := &fl.flows[fl.cand[i]]
+			e := &fl.cache.entries[f.entry]
 			scale := 1.0
-			for _, e := range fs.path[f.off : f.off+f.n] {
-				if fs.load[e] > fs.cap[e] {
-					if s := fs.cap[e] / fs.load[e]; s < scale {
+			for _, el := range fl.cache.path[e.off : e.off+e.n] {
+				if fl.load[el] > fl.cap[el] {
+					if s := fl.cap[el] / fl.load[el]; s < scale {
 						scale = s
 					}
 				}
 			}
 			if scale < 1 {
 				f.x *= scale
-				over = true
 			}
 		}
-		if !over {
-			return
+	}
+	fl.loadListFn = func(w int) {
+		lo, hi := engine.ShardBounds(len(fl.dirty), fl.workers, w)
+		for i := lo; i < hi; i++ {
+			el := fl.dirty[i]
+			s := 0.0
+			for k := fl.elemOff[el]; k < fl.elemOff[el+1]; k++ {
+				f := &fl.flows[fl.elemFlow[k]]
+				s += f.rate * f.x
+			}
+			fl.load[el] = s
 		}
 	}
-	// One last load pass so the reported loads reflect the final throttles.
-	for i := range fs.load {
-		fs.load[i] = 0
+	n.flow = fl
+	return fl
+}
+
+// SetFlowWorkers sets the flow solver's parallelism (1 = serial; <=0 is
+// clamped to 1). Worker count is a pure execution knob: statistics are
+// bit-identical for any setting. The solver owns its pool — campaigns run
+// the cycle engines' pool at Workers:1 and parallelize across points, so
+// the flow solver parallelizes within a point independently.
+func (n *Network) SetFlowWorkers(w int) {
+	fl := n.flowSolver()
+	if w <= 0 {
+		w = 1
 	}
-	for i := range fs.flows {
-		f := &fs.flows[i]
-		r := f.rate * f.x
-		for _, e := range fs.path[f.off : f.off+f.n] {
-			fs.load[e] += r
+	if w == fl.workers {
+		return
+	}
+	if fl.pool != nil {
+		fl.pool.Close()
+		fl.pool = nil
+	}
+	fl.workers = w
+	if w > 1 {
+		fl.pool = engine.NewPool(w)
+	}
+	for len(fl.traceBufs) < w {
+		fl.traceBufs = append(fl.traceBufs, nil)
+	}
+}
+
+// FlowSolverStats returns the cumulative solver diagnostics (zero value if
+// the flow solver was never used on this network).
+func (n *Network) FlowSolverStats() FlowStats {
+	if n.flow == nil {
+		return FlowStats{}
+	}
+	return n.flow.stats
+}
+
+// flowInvalidateAll discards every cached route trace (no-op when the flow
+// solver was never used).
+func (n *Network) flowInvalidateAll() {
+	if n.flow == nil {
+		return
+	}
+	n.flow.cache.invalidateAll()
+	n.flow.stats.FullInvalidations++
+}
+
+// flowInvalidateChurn evicts the cached traces a churn batch can have
+// affected (see traceCache.invalidateFor).
+func (n *Network) flowInvalidateChurn(routers []NodeID, links []int32) {
+	if n.flow == nil {
+		return
+	}
+	n.flow.stats.Evicted += int64(n.flow.cache.invalidateFor(routers, links, len(n.Routers), len(n.Links)))
+}
+
+// run executes fn(part) for every partition, on the solver pool when
+// parallel. Partition layout never affects results (fixed-order reductions
+// per element/flow), so this is purely an execution detail.
+func (fl *flowSolver) run(fn func(int)) {
+	if fl.pool == nil || fl.workers <= 1 {
+		fn(0)
+		return
+	}
+	fl.pool.Run(fl.workers, fn)
+}
+
+// traceOne runs the installed RouteFunc over a phantom packet from srcNode
+// to dstNode, appending the links crossed (and the terminal ejection
+// element) to buf. Randomized routing decisions draw from a stream derived
+// from the (srcNode, dstNode) pair, so the trace is a pure function of the
+// network state — independent of trace order and safe to run concurrently.
+// res.ok is false when the route dead-ends, crosses a disabled component,
+// or exceeds flowMaxHops; the caller accounts such flows as refused.
+func (n *Network) traceOne(buf []int32, srcNode, dstNode NodeID, size int32) ([]int32, traceResult) {
+	rng := engine.NewRNGStream(n.seed^flowTraceSeed, pairKey(srcNode, dstNode))
+	p := Packet{
+		SrcChip: n.Routers[srcNode].Chip, DstChip: n.Routers[dstNode].Chip,
+		SrcNode: srcNode, DstNode: dstNode,
+		Size: size, Aux: -1, Aux2: -1,
+		TraceRNG: &rng,
+	}
+	var res traceResult
+	res.off = int32(len(buf))
+	ejBase := int32(len(n.Links))
+	r := &n.Routers[srcNode]
+	for hop := 0; hop < flowMaxHops; hop++ {
+		out, vc := n.route(n, r, &p)
+		if out < 0 || out >= len(r.Out) {
+			return buf[:res.off], res
 		}
+		l := r.Out[out].Link
+		if l == nil {
+			// Ejection: the terminal serializes the whole packet at one
+			// flit per cycle, exactly like Router.allocate.
+			buf = append(buf, ejBase+int32(r.ID))
+			res.n++
+			res.base += int64(size)
+			res.hops[HopEject]++
+			res.ok = true
+			return buf, res
+		}
+		if l.Disabled || n.Routers[l.Dst].Disabled {
+			return buf[:res.off], res
+		}
+		p.VC = vc
+		p.Hops[l.Class]++
+		res.hops[l.Class]++
+		buf = append(buf, l.ID)
+		res.n++
+		// Wire + the one-cycle handoff into the next router's input buffer
+		// (the cycle engines deliver at now + Delay + 1).
+		res.base += int64(l.Delay) + 1
+		r = &n.Routers[l.Dst]
+	}
+	return buf[:res.off], res
+}
+
+// tracePending traces every reserved cache entry, fanning the independent
+// phantom traces across the solver pool, then merges the results into the
+// cache arena serially in worklist order — cache contents are identical
+// for any worker count.
+func (n *Network) tracePending(fl *flowSolver, size int32) {
+	if len(fl.pending) == 0 {
+		return
+	}
+	t0 := time.Now()
+	flowPhaseTrace.Enter()
+	if cap(fl.results) < len(fl.pending) {
+		fl.results = make([]traceResult, len(fl.pending))
+	}
+	fl.results = fl.results[:len(fl.pending)]
+	fl.traceSize = size
+	fl.traceNext.Store(0)
+	fl.run(fl.traceFn)
+	c := fl.cache
+	for i, ei := range fl.pending {
+		res := &fl.results[i]
+		e := &c.entries[ei]
+		e.off = int32(len(c.path))
+		e.n = res.n
+		e.base = res.base
+		e.hops = res.hops
+		e.ok = res.ok
+		e.traced = true
+		c.path = append(c.path, fl.traceBufs[res.wrk][res.off:res.off+res.n]...)
+	}
+	c.gen++
+	fl.stats.Traces += int64(len(fl.pending))
+	fl.pending = fl.pending[:0]
+	profiling.ExitPhase()
+	fl.stats.TraceWall += time.Since(t0)
+}
+
+// flowBuildFlows expands chip-level demands into node-level flows, serving
+// traced paths from the route cache and scheduling misses for tracing.
+// Demands on a chip are spread round-robin across its injection nodes
+// (matching DstSameIndex's node pairing); demands whose endpoints are dead
+// or whose route fails are returned as refused flits/cycle, accumulated in
+// demand order.
+func (n *Network) flowBuildFlows(fl *flowSolver, demands []FlowDemand, size int32) (refusedRate float64) {
+	fl.flows = fl.flows[:0]
+	for i := range fl.perChipSeq {
+		fl.perChipSeq[i] = 0
+	}
+	fl.pending = fl.pending[:0]
+	for _, d := range demands {
+		if d.Rate <= 0 {
+			continue
+		}
+		entry := int32(-1)
+		if int(d.Src) < len(n.ChipNodes) && int(d.Dst) < len(n.ChipNodes) {
+			srcNodes := n.ChipNodes[d.Src]
+			dstNodes := n.ChipNodes[d.Dst]
+			if len(srcNodes) > 0 && len(dstNodes) > 0 {
+				idx := fl.perChipSeq[d.Src] % len(srcNodes)
+				fl.perChipSeq[d.Src]++
+				ei, need := fl.cache.lookupOrReserve(pairKey(srcNodes[idx], dstNodes[idx%len(dstNodes)]))
+				if need {
+					fl.pending = append(fl.pending, ei)
+				} else if fl.cache.entries[ei].traced {
+					fl.stats.CacheHits++
+				}
+				entry = ei
+			}
+		}
+		fl.flows = append(fl.flows, flowFlow{rate: d.Rate, x: 1, entry: entry})
+	}
+	n.tracePending(fl, size)
+	// Drop refused flows (dead endpoints, failed traces) in demand order.
+	w := 0
+	for i := range fl.flows {
+		f := fl.flows[i]
+		if f.entry < 0 || !fl.cache.entries[f.entry].ok {
+			refusedRate += f.rate
+			continue
+		}
+		fl.flows[w] = f
+		w++
+	}
+	fl.flows = fl.flows[:w]
+	return refusedRate
+}
+
+// flowShape hashes the solve's flow structure: the element space, the
+// cache generation (any re-trace or eviction changes it, so an unchanged
+// hash guarantees unchanged paths) and the per-flow cache entries. Equal
+// shapes mean the incidence transpose — and, for throttle seeding, the
+// flow indexing — carry over from the previous solve.
+func (fl *flowSolver) flowShape() uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	h = (h ^ uint64(len(fl.load))) * prime64
+	h = (h ^ fl.cache.gen) * prime64
+	h = (h ^ uint64(len(fl.flows))) * prime64
+	for i := range fl.flows {
+		h = (h ^ uint64(uint32(fl.flows[i].entry))) * prime64
+	}
+	return h
+}
+
+// buildTranspose builds the element->flows CSR used by the waterfill load
+// pass. Element-major accumulation makes every element's load a fixed-order
+// reduction over its incident flows — which is what keeps serial and
+// parallel waterfills bit-identical.
+func (fl *flowSolver) buildTranspose() {
+	elems := len(fl.load)
+	off := fl.elemOff
+	for i := range off {
+		off[i] = 0
+	}
+	c := fl.cache
+	total := 0
+	for i := range fl.flows {
+		e := &c.entries[fl.flows[i].entry]
+		total += int(e.n)
+		for _, el := range c.path[e.off : e.off+e.n] {
+			off[el+1]++
+		}
+	}
+	for i := 1; i <= elems; i++ {
+		off[i] += off[i-1]
+	}
+	if cap(fl.elemFlow) < total {
+		fl.elemFlow = make([]int32, total)
+	}
+	fl.elemFlow = fl.elemFlow[:total]
+	copy(fl.elemCur, off[:elems])
+	for i := range fl.flows {
+		e := &c.entries[fl.flows[i].entry]
+		for _, el := range c.path[e.off : e.off+e.n] {
+			fl.elemFlow[fl.elemCur[el]] = int32(i)
+			fl.elemCur[el]++
+		}
+	}
+	fl.stats.TransposeBuilds++
+}
+
+// setCapacities fills per-element capacities and service times: links carry
+// Width flits/cycle and serialize a packet in ceil(size/Width) cycles;
+// ejection ports carry one flit/cycle and serialize in size cycles.
+func (fl *flowSolver) setCapacities(n *Network, size int32) {
+	eb := len(n.Links)
+	for i := range n.Links {
+		l := &n.Links[i]
+		fl.cap[i] = float64(l.Width)
+		fl.ser[i] = float64((size + l.Width - 1) / l.Width)
+	}
+	for i := range n.Routers {
+		fl.cap[eb+i] = 1
+		fl.ser[eb+i] = float64(size)
+	}
+	fl.capSize = size
+}
+
+// waterfill runs the monotone throttle fixpoint: every flow crossing an
+// over-capacity element is scaled by the worst capacity/load ratio along
+// its path until no element is loaded past capacity. The result is a
+// feasible operating point that matches the offered load below saturation
+// and pins the bottleneck elements at capacity above it.
+//
+// The fixpoint is monotone — throttles only ever drop, so loads only ever
+// drop and an element that reaches capacity never leaves it again. That
+// lets each round work active sets instead of the whole network, with
+// bit-identical results: a flow touching no over-capacity element would
+// scale by exactly 1, and an element none of whose incident flows changed
+// would recompute its fixed-order load reduction to exactly the stored
+// value. All passes partition work across the solver pool; neither
+// partitioning affects the result bits.
+func (fl *flowSolver) waterfill() {
+	fl.run(fl.loadFn)
+	if cap(fl.flowStamp) < len(fl.flows) {
+		fl.flowStamp = make([]int32, len(fl.flows))
+	}
+	fl.flowStamp = fl.flowStamp[:len(fl.flows)]
+	if fl.stamp > 1<<30 {
+		// Stamp values are never reused, so a (practically unreachable)
+		// wraparound clears the dedupe arrays instead of risking collision.
+		fl.stamp = 0
+		for i := range fl.flowStamp {
+			fl.flowStamp[i] = 0
+		}
+		for i := range fl.elemStamp {
+			fl.elemStamp[i] = 0
+		}
+	}
+	fl.overElems = fl.overElems[:0]
+	for el := range fl.load {
+		if fl.load[el] > fl.cap[el] {
+			fl.overElems = append(fl.overElems, int32(el))
+		}
+	}
+	for iter := 0; len(fl.overElems) > 0 && iter < flowWaterfillIters; iter++ {
+		fl.stats.WaterfillIters++
+		// Candidate flows: exactly those crossing an over-capacity element
+		// (every one of them has a worst ratio < 1 and will throttle).
+		fl.stamp++
+		fl.cand = fl.cand[:0]
+		for _, el := range fl.overElems {
+			for k := fl.elemOff[el]; k < fl.elemOff[el+1]; k++ {
+				fi := fl.elemFlow[k]
+				if fl.flowStamp[fi] != fl.stamp {
+					fl.flowStamp[fi] = fl.stamp
+					fl.cand = append(fl.cand, fi)
+				}
+			}
+		}
+		fl.run(fl.scaleFn)
+		// Dirty elements: those sharing a flow with the throttled set; each
+		// recomputes its full fixed-order reduction, so the refreshed loads
+		// are bit-identical to a whole-network load pass.
+		fl.stamp++
+		fl.dirty = fl.dirty[:0]
+		for _, fi := range fl.cand {
+			e := &fl.cache.entries[fl.flows[fi].entry]
+			for _, el := range fl.cache.path[e.off : e.off+e.n] {
+				if fl.elemStamp[el] != fl.stamp {
+					fl.elemStamp[el] = fl.stamp
+					fl.dirty = append(fl.dirty, el)
+				}
+			}
+		}
+		fl.run(fl.loadListFn)
+		// Monotonicity: no element outside the set can have crossed
+		// capacity, so filtering the old set is the full rescan.
+		w := 0
+		for _, el := range fl.overElems {
+			if fl.load[el] > fl.cap[el] {
+				fl.overElems[w] = el
+				w++
+			}
+		}
+		fl.overElems = fl.overElems[:w]
 	}
 }
 
 // latency returns flow f's modeled end-to-end latency: the uncontended
 // base plus an M/D/1 waiting term per traversed element at its solved
 // utilization, capped near saturation so the estimate stays finite.
-func (fs *flowState) latency(f *flowFlow) float64 {
-	lat := float64(f.base)
-	for _, e := range fs.path[f.off : f.off+f.n] {
-		rho := fs.load[e] / fs.cap[e]
+func (fl *flowSolver) latency(f *flowFlow) float64 {
+	e := &fl.cache.entries[f.entry]
+	lat := float64(e.base)
+	for _, el := range fl.cache.path[e.off : e.off+e.n] {
+		rho := fl.load[el] / fl.cap[el]
 		if rho > flowRhoCap {
 			rho = flowRhoCap
 		}
 		if rho > 0 {
-			lat += rho / (2 * (1 - rho)) * fs.ser[e]
+			lat += rho / (2 * (1 - rho)) * fl.ser[el]
 		}
 	}
 	return lat
@@ -295,26 +690,41 @@ type flowAccum struct {
 	hist           LatencyHist
 }
 
+// reset clears the accumulator for a new solve, retaining the per-link
+// buffer.
+func (a *flowAccum) reset(links int) {
+	if cap(a.linkFlits) < links {
+		a.linkFlits = make([]float64, links)
+	}
+	a.linkFlits = a.linkFlits[:links]
+	for i := range a.linkFlits {
+		a.linkFlits[i] = 0
+	}
+	a.deliveredFlits, a.refusedPkts, a.netLatSum = 0, 0, 0
+	a.hops = [NumHopClasses]float64{}
+	a.hist = LatencyHist{}
+}
+
 // accumulate folds one solved segment of cyc cycles into the totals.
-func (a *flowAccum) accumulate(fs *flowState, n *Network, size int32, refusedRate float64, cyc int64) {
+func (a *flowAccum) accumulate(fl *flowSolver, n *Network, size int32, refusedRate float64, cyc int64) {
 	c := float64(cyc)
 	a.refusedPkts += refusedRate * c / float64(size)
-	eb := int(fs.ejBase(n))
-	for i := 0; i < eb; i++ {
-		a.linkFlits[i] += fs.load[i] * c
+	for i := range a.linkFlits {
+		a.linkFlits[i] += fl.load[i] * c
 	}
-	for i := range fs.flows {
-		f := &fs.flows[i]
+	for i := range fl.flows {
+		f := &fl.flows[i]
 		delivered := f.rate * f.x * c
 		if delivered <= 0 {
 			continue
 		}
+		e := &fl.cache.entries[f.entry]
 		a.deliveredFlits += delivered
 		pkts := delivered / float64(size)
-		lat := fs.latency(f)
+		lat := fl.latency(f)
 		a.netLatSum += pkts * lat
 		for h := 0; h < int(NumHopClasses); h++ {
-			a.hops[h] += pkts * float64(f.hops[h])
+			a.hops[h] += pkts * float64(e.hops[h])
 		}
 		w := int64(pkts*flowHistScale + 0.5)
 		if w <= 0 {
@@ -338,8 +748,9 @@ func (a *flowAccum) accumulate(fs *flowState, n *Network, size int32, refusedRat
 // LinkUtilization and the energy pricing read exactly as they would after
 // a cycle-engine run of the same window. Armed churn timelines are applied
 // at their event cycles: the window is segmented, each segment re-traces
-// routes (the apply hook has rebuilt routing) and re-solves, and the
-// reported statistics are the segment-length-weighted aggregate.
+// the routes the event batch invalidated (the apply hook has rebuilt
+// routing) and re-solves, and the reported statistics are the
+// segment-length-weighted aggregate.
 func (n *Network) SolveFlow(opts FlowOptions) error {
 	if n.engineKind != EngineFlow {
 		return fmt.Errorf("%w: SolveFlow on engine %v", ErrFlowEngine, n.engineKind)
@@ -350,24 +761,41 @@ func (n *Network) SolveFlow(opts FlowOptions) error {
 	size := opts.PacketSize
 	horizon := opts.Warmup + opts.Measure
 
+	fl := n.flowSolver()
+	if opts.Workers > 0 {
+		n.SetFlowWorkers(opts.Workers)
+	}
+	if opts.Cold {
+		n.flowInvalidateAll()
+	}
+	if fl.cache.size != size {
+		// Cached base latencies embed the ejection serialization, so a
+		// packet-size change discards the cache.
+		n.flowInvalidateAll()
+		fl.cache.size = size
+	}
+	if fl.capSize != size {
+		fl.setCapacities(n, size)
+	}
+	fl.stats.Solves++
+
 	// Segment the horizon at pending churn cycles (the cursor marks events
 	// already applied — a Reset rewinds it).
-	starts := []int64{0}
+	fl.starts = append(fl.starts[:0], 0)
 	if c := n.churn; c != nil {
 		for _, e := range c.events[c.next:] {
-			if e.Cycle > 0 && e.Cycle < horizon && e.Cycle != starts[len(starts)-1] {
-				starts = append(starts, e.Cycle)
+			if e.Cycle > 0 && e.Cycle < horizon && e.Cycle != fl.starts[len(fl.starts)-1] {
+				fl.starts = append(fl.starts, e.Cycle)
 			}
 		}
 	}
 
-	fs := n.newFlowState()
-	acc := flowAccum{linkFlits: make([]float64, len(n.Links))}
-	perChipSeq := make([]int, len(n.ChipNodes))
-	for i, segStart := range starts {
+	acc := &fl.accum
+	acc.reset(len(n.Links))
+	for i, segStart := range fl.starts {
 		segEnd := horizon
-		if i+1 < len(starts) {
-			segEnd = starts[i+1]
+		if i+1 < len(fl.starts) {
+			segEnd = fl.starts[i+1]
 		}
 		n.Cycle = segStart
 		if n.churn != nil {
@@ -382,13 +810,43 @@ func (n *Network) SolveFlow(opts FlowOptions) error {
 		if cyc <= 0 {
 			continue
 		}
-		fs.setCapacities(n, size)
+		fl.stats.Segments++
 		if n.preAllocate != nil {
 			n.preAllocate(n)
 		}
-		refused := n.buildFlows(fs, opts.Demands(), size, perChipSeq)
-		fs.waterfill()
-		acc.accumulate(fs, n, size, refused, cyc)
+		refused := n.flowBuildFlows(fl, opts.Demands(), size)
+		shape := fl.flowShape()
+		if shape != fl.shape || len(fl.elemFlow) == 0 {
+			fl.buildTranspose()
+			fl.shape = shape
+		}
+		if opts.SeedThrottles && shape == fl.prevShape && len(fl.prevX) == len(fl.flows) {
+			for j := range fl.flows {
+				f := &fl.flows[j]
+				if x0 := fl.prevX[j] * fl.prevRate[j] / f.rate; x0 < 1 {
+					f.x = x0
+				}
+			}
+		}
+		t := time.Now()
+		flowPhaseWaterfill.Enter()
+		fl.waterfill()
+		profiling.ExitPhase()
+		fl.stats.WaterfillWall += time.Since(t)
+		t = time.Now()
+		flowPhaseHist.Enter()
+		acc.accumulate(fl, n, size, refused, cyc)
+		profiling.ExitPhase()
+		fl.stats.HistWall += time.Since(t)
+		if opts.SeedThrottles {
+			fl.prevX = fl.prevX[:0]
+			fl.prevRate = fl.prevRate[:0]
+			for j := range fl.flows {
+				fl.prevX = append(fl.prevX, fl.flows[j].x)
+				fl.prevRate = append(fl.prevRate, fl.flows[j].rate)
+			}
+			fl.prevShape = shape
+		}
 	}
 
 	// Publish the synthesized window: counters into shard 0, per-link
@@ -421,17 +879,26 @@ func (n *Network) SolveFlow(opts FlowOptions) error {
 // needs to complete: the bottleneck element's serialization time plus the
 // longest path's pipeline-fill latency. Transfers whose endpoints are dead
 // or unroutable are skipped (collective schedules recompute over survivors
-// before each solve). Zero transfers complete in zero cycles.
+// before each solve). Zero transfers complete in zero cycles. Routes are
+// served from (and added to) the same trace cache SolveFlow uses, so
+// collective schedules that revisit pairs across steps trace them once.
 func (n *Network) FlowMakespan(vols []FlowVolume, packetSize int32) (int64, error) {
 	if packetSize <= 0 {
 		return 0, fmt.Errorf("%w: PacketSize > 0 required", ErrFlowEngine)
 	}
-	fs := n.newFlowState()
-	fs.setCapacities(n, packetSize)
+	fl := n.flowSolver()
+	if fl.cache.size != packetSize {
+		n.flowInvalidateAll()
+		fl.cache.size = packetSize
+	}
+	if fl.capSize != packetSize {
+		fl.setCapacities(n, packetSize)
+	}
 	if n.preAllocate != nil {
 		n.preAllocate(n)
 	}
-	var maxBase int64
+	fl.flows = fl.flows[:0]
+	fl.pending = fl.pending[:0]
 	for _, v := range vols {
 		if v.Flits <= 0 || int(v.Src) >= len(n.ChipNodes) || int(v.Dst) >= len(n.ChipNodes) {
 			continue
@@ -443,25 +910,39 @@ func (n *Network) FlowMakespan(vols []FlowVolume, packetSize int32) (int64, erro
 		}
 		perNode := float64(v.Flits) / float64(len(srcNodes))
 		for idx, srcNode := range srcNodes {
-			var f flowFlow
-			f.rate = perNode
-			if !n.trace(fs, srcNode, dstNodes[idx%len(dstNodes)], v.Src, v.Dst, packetSize, &f) {
-				continue
+			ei, need := fl.cache.lookupOrReserve(pairKey(srcNode, dstNodes[idx%len(dstNodes)]))
+			if need {
+				fl.pending = append(fl.pending, ei)
+			} else if fl.cache.entries[ei].traced {
+				fl.stats.CacheHits++
 			}
-			for _, e := range fs.path[f.off : f.off+f.n] {
-				fs.load[e] += perNode
-			}
-			if f.base > maxBase {
-				maxBase = f.base
-			}
+			fl.flows = append(fl.flows, flowFlow{rate: perNode, x: 1, entry: ei})
+		}
+	}
+	n.tracePending(fl, packetSize)
+	for i := range fl.load {
+		fl.load[i] = 0
+	}
+	var maxBase int64
+	for i := range fl.flows {
+		f := &fl.flows[i]
+		e := &fl.cache.entries[f.entry]
+		if !e.ok {
+			continue
+		}
+		for _, el := range fl.cache.path[e.off : e.off+e.n] {
+			fl.load[el] += f.rate
+		}
+		if e.base > maxBase {
+			maxBase = e.base
 		}
 	}
 	var maxSer float64
-	for i, l := range fs.load {
+	for i, l := range fl.load {
 		if l <= 0 {
 			continue
 		}
-		if s := l / fs.cap[i]; s > maxSer {
+		if s := l / fl.cap[i]; s > maxSer {
 			maxSer = s
 		}
 	}
@@ -492,7 +973,7 @@ func FlowSampleCount(chips int) int {
 	}
 }
 
-// flowRNG returns the deterministic per-chip RNG stream for demand
+// FlowDemandRNG returns the deterministic per-chip RNG stream for demand
 // sampling; exported via helper so core and tests share one derivation.
 func FlowDemandRNG(seed uint64, chip int32) engine.RNG {
 	return engine.NewRNGStream(seed^0xF10A11CE, uint64(chip)+1)

@@ -95,6 +95,11 @@ type Network struct {
 	// check is Step's only churn cost, preserving bitwise identity with
 	// pre-churn builds).
 	churn *churnState
+
+	// flow is the lazily created flow-solver state (route-trace cache and
+	// retained solve buffers); nil until the first flow solve. It survives
+	// Reset so build-once/measure-many sweeps re-trace nothing.
+	flow *flowSolver
 }
 
 // SetPreAllocate installs the per-cycle serial hook (may be nil).
@@ -129,8 +134,13 @@ func (n *Network) SetTraffic(gen Generator, packetSize int32, policy DstNodePoli
 	n.dstPolicy = policy
 }
 
-// SetRoute installs the routing function.
-func (n *Network) SetRoute(f RouteFunc) { n.route = f }
+// SetRoute installs the routing function. Any cached route traces are
+// discarded: a new (or rebuilt fault-aware) RouteFunc can route every pair
+// differently, and a stale path must never survive a reroute.
+func (n *Network) SetRoute(f RouteFunc) {
+	n.route = f
+	n.flowInvalidateAll()
+}
 
 // NumChips returns the number of terminal chips.
 func (n *Network) NumChips() int { return len(n.ChipNodes) }
@@ -512,9 +522,14 @@ func (n *Network) Snapshot() Stats {
 	return st
 }
 
-// Close releases the worker pool if the network owns it.
+// Close releases the worker pool if the network owns it, along with the
+// flow solver's pool when one was created.
 func (n *Network) Close() {
 	if n.ownedPool && n.pool != nil {
 		n.pool.Close()
+	}
+	if n.flow != nil && n.flow.pool != nil {
+		n.flow.pool.Close()
+		n.flow.pool = nil
 	}
 }

@@ -12,6 +12,8 @@
 // packages provide Generators. The core package wires them together.
 package netsim
 
+import "sldf/internal/engine"
+
 // NodeID identifies a router in the network.
 type NodeID = int32
 
@@ -83,6 +85,26 @@ type Packet struct {
 
 	// Hops counts traversed channels by class for energy accounting.
 	Hops [NumHopClasses]uint16
+
+	// TraceRNG, when non-nil, replaces the visited routers' RNG streams for
+	// this packet's routing decisions. Cycle engines never set it — their
+	// packets draw from the per-router streams exactly as before. The flow
+	// engine's phantom route traces set it to a stream derived from the
+	// (source node, destination node) pair, which makes every trace a pure
+	// function of the network state: independent of trace order, safe to run
+	// concurrently, and reusable from the route-trace cache with bit-exact
+	// results.
+	TraceRNG *engine.RNG
+}
+
+// RouteRNG returns the stream a RouteFunc must draw from when making a
+// randomized decision for p at router r: the packet's trace stream when
+// set, otherwise the router's own stream.
+func (p *Packet) RouteRNG(r *Router) *engine.RNG {
+	if p.TraceRNG != nil {
+		return p.TraceRNG
+	}
+	return &r.RNG
 }
 
 // TotalHops returns the number of network hops taken (excluding ejection).

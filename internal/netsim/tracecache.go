@@ -1,0 +1,160 @@
+package netsim
+
+// The route-trace cache: traced flow paths keyed by (source node,
+// destination node), owned by the network and kept across Reset so
+// build-once/measure-many campaigns pay for each route exactly once.
+//
+// Validity is epoch-versioned. Full invalidation (SetRoute, build-time
+// faults, packet-size change, churn rewind) is O(1): the epoch advances and
+// every entry goes stale in place — the key index is kept, so a re-trace
+// reuses the entry slot. Churn batches invalidate selectively: only entries
+// whose path crosses a component that actually flipped alive<->dead are
+// evicted (plus every negative entry, since a repair can make a previously
+// unroutable pair routable).
+//
+// Selective retention is sound only when the installed RouteFunc's decisions
+// depend on component liveness solely through the components a path actually
+// traverses — true for table-free route functions. Fault-aware routing that
+// consults rebuilt tables must be reinstalled with SetRoute after the tables
+// change (the core layer's churn hook does exactly that), which bumps the
+// epoch and discards everything.
+
+// traceEntry is one cached route: the traced path as an offset/length into
+// traceCache.path, the uncontended base latency, and the per-class hop
+// counts. ok=false entries cache route *failures* (refused pairs), so a
+// persistently unroutable pair is not re-traced every solve.
+type traceEntry struct {
+	key    uint64
+	epoch  uint64 // valid iff == traceCache.epoch
+	off    int32
+	n      int32
+	traced bool // reserved entries await tracing within the current build
+	ok     bool
+	base   int64
+	hops   [NumHopClasses]uint16
+}
+
+// traceCache owns the entries, their key index, and the shared path arena.
+type traceCache struct {
+	idx     map[uint64]int32
+	entries []traceEntry
+	path    []int32
+	epoch   uint64
+	// gen increments whenever cached structure changes (fresh traces merged
+	// or entries evicted); the solver folds it into its flow-shape hash so a
+	// stale path can never hide behind an unchanged flow list.
+	gen uint64
+	// size is the packet size the cached traces were computed with; base
+	// latencies embed the ejection serialization, so a size change discards
+	// everything.
+	size int32
+
+	// mark scratch for selective invalidation: component id -> markGen,
+	// stamped per churn batch so no clearing pass is needed.
+	routerMark []uint64
+	linkMark   []uint64
+	markGen    uint64
+}
+
+// pairKey packs a (source node, destination node) pair into the cache key.
+func pairKey(src, dst NodeID) uint64 {
+	return uint64(uint32(src))<<32 | uint64(uint32(dst))
+}
+
+// pairFromKey unpacks a cache key.
+func pairFromKey(key uint64) (src, dst NodeID) {
+	return NodeID(key >> 32), NodeID(uint32(key))
+}
+
+func newTraceCache() *traceCache {
+	return &traceCache{idx: make(map[uint64]int32), epoch: 1}
+}
+
+// lookupOrReserve returns the entry index for key and whether the caller
+// must schedule a fresh trace for it. A valid entry (traced this epoch)
+// needs nothing; a stale or absent entry is reserved in place and reported
+// exactly once — later lookups of the same key within the build see the
+// reservation and do not re-schedule.
+func (c *traceCache) lookupOrReserve(key uint64) (int32, bool) {
+	if i, ok := c.idx[key]; ok {
+		e := &c.entries[i]
+		if e.epoch == c.epoch {
+			return i, false
+		}
+		e.epoch = c.epoch
+		e.traced = false
+		return i, true
+	}
+	i := int32(len(c.entries))
+	c.entries = append(c.entries, traceEntry{key: key, epoch: c.epoch})
+	c.idx[key] = i
+	return i, true
+}
+
+// invalidateAll discards every cached trace in O(1) and resets the path
+// arena (stale entries never read their dangling offsets).
+func (c *traceCache) invalidateAll() {
+	c.epoch++
+	c.gen++
+	c.path = c.path[:0]
+}
+
+// ensureMarks sizes the component mark arrays for selective invalidation.
+func (c *traceCache) ensureMarks(routers, links int) {
+	if len(c.routerMark) < routers {
+		c.routerMark = make([]uint64, routers)
+	}
+	if len(c.linkMark) < links {
+		c.linkMark = make([]uint64, links)
+	}
+}
+
+// invalidateFor evicts exactly the entries a churn batch can have affected:
+// every negative entry, and every positive entry whose path traverses a
+// router or link that flipped alive<->dead. numRouters/numLinks size the
+// mark arrays; cached path elements >= numLinks are router (ejection)
+// elements. Returns the number of entries evicted.
+//
+// Evicted entries go stale in place (epoch rollback on the entry); their
+// arena regions are reclaimed only by the next full invalidation — churn
+// timelines toggle a bounded component set, so the leak is bounded too.
+func (c *traceCache) invalidateFor(routers []NodeID, links []int32, numRouters, numLinks int) int {
+	c.ensureMarks(numRouters, numLinks)
+	ejBase := int32(numLinks)
+	c.markGen++
+	for _, r := range routers {
+		c.routerMark[r] = c.markGen
+	}
+	for _, l := range links {
+		c.linkMark[l] = c.markGen
+	}
+	evicted := 0
+	for i := range c.entries {
+		e := &c.entries[i]
+		if e.epoch != c.epoch || !e.traced {
+			continue
+		}
+		if !e.ok {
+			e.epoch--
+			evicted++
+			continue
+		}
+		for _, el := range c.path[e.off : e.off+e.n] {
+			hit := false
+			if el >= ejBase {
+				hit = c.routerMark[el-ejBase] == c.markGen
+			} else {
+				hit = c.linkMark[el] == c.markGen
+			}
+			if hit {
+				e.epoch--
+				evicted++
+				break
+			}
+		}
+	}
+	if evicted > 0 {
+		c.gen++
+	}
+	return evicted
+}

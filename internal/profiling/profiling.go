@@ -11,12 +11,47 @@
 package profiling
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync/atomic"
 )
+
+// labelsOn tracks whether a CPU profile is being captured; phase labels are
+// free (one atomic load) while it is off, so hot solver loops can tag their
+// phases unconditionally without paying pprof costs in ordinary runs.
+var labelsOn atomic.Bool
+
+// Phase is a prebuilt pprof label set naming one phase of a computation.
+// Build them once (package var), then bracket work with Enter/Exit; CPU
+// profiles captured with -cpuprofile break the samples down by the "phase"
+// label. The flow solver tags its trace / waterfill / histogram phases.
+type Phase struct {
+	ctx context.Context
+}
+
+// NewPhase prebuilds the label set for a named phase.
+func NewPhase(name string) Phase {
+	return Phase{ctx: pprof.WithLabels(context.Background(), pprof.Labels("phase", name))}
+}
+
+// Enter tags the calling goroutine with the phase label. No-op (and
+// allocation-free) unless a CPU profile is active.
+func (p Phase) Enter() {
+	if labelsOn.Load() {
+		pprof.SetGoroutineLabels(p.ctx)
+	}
+}
+
+// ExitPhase clears the calling goroutine's phase label.
+func ExitPhase() {
+	if labelsOn.Load() {
+		pprof.SetGoroutineLabels(context.Background())
+	}
+}
 
 // Profiles holds the flag values and the open CPU-profile file, if any.
 type Profiles struct {
@@ -47,6 +82,7 @@ func (p *Profiles) Start() error {
 		f.Close()
 		return fmt.Errorf("cpuprofile: %w", err)
 	}
+	labelsOn.Store(true)
 	p.f = f
 	return nil
 }
@@ -56,6 +92,7 @@ func (p *Profiles) Start() error {
 // was set.
 func (p *Profiles) Stop() error {
 	if p.f != nil {
+		labelsOn.Store(false)
 		pprof.StopCPUProfile()
 		if err := p.f.Close(); err != nil {
 			return fmt.Errorf("cpuprofile: %w", err)

@@ -1,6 +1,7 @@
 package routing
 
 import (
+	"sldf/internal/engine"
 	"sldf/internal/netsim"
 )
 
@@ -61,14 +62,14 @@ func (sr *SLDFRouter) Install(net *netsim.Network) {
 // chooseAdaptive implements the UGAL-G decision at the source core for an
 // inter-W-group packet: pick one random intermediate candidate and compare
 // queue×hops against the minimal path.
-func (sr *SLDFRouter) chooseAdaptive(r *netsim.Router, ws, wd int32) int32 {
+func (sr *SLDFRouter) chooseAdaptive(rng *engine.RNG, ws, wd int32) int32 {
 	if sr.occ == nil || sr.groups <= 2 {
 		return -1
 	}
 	// Candidate intermediate.
 	var aux int32
 	for {
-		aux = int32(r.RNG.Intn(sr.groups))
+		aux = int32(rng.Intn(sr.groups))
 		if aux != ws && aux != wd {
 			break
 		}

@@ -47,8 +47,9 @@ func DragonflyRoute(df *topology.Dragonfly, mode Mode) (netsim.RouteFunc, error)
 			}
 			// Valiant: pick the intermediate group once, at the source NIC.
 			if mode == Valiant && p.Aux < 0 && int(r.WGroup) != wd && g > 2 {
+				rng := p.RouteRNG(r)
 				for {
-					aux := int32(r.RNG.Intn(g))
+					aux := int32(rng.Intn(g))
 					if aux != r.WGroup && aux != int32(wd) {
 						p.Aux = aux
 						break

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"sldf/internal/engine"
 	"sldf/internal/netsim"
 	"sldf/internal/topology"
 )
@@ -496,7 +497,7 @@ func (fr *FaultSLDFRouter) Func() netsim.RouteFunc {
 			p.Aux = -1
 			if fr.mode == Valiant && fr.groups > 2 {
 				if d := net.Router(p.DstNode); d.WGroup != r.WGroup {
-					p.Aux = fr.pickValiant(r, r.WGroup*fr.ab+r.CGroup, r.WGroup, d.WGroup)
+					p.Aux = fr.pickValiant(p.RouteRNG(r), r.WGroup*fr.ab+r.CGroup, r.WGroup, d.WGroup)
 				}
 			}
 		}
@@ -551,7 +552,7 @@ func (fr *FaultSLDFRouter) regionStep(r *netsim.Router, p *netsim.Packet, exit n
 // pickValiant draws a uniform intermediate W-group different from the
 // source and destination, among the source C-group's admissible detours.
 // Returns -1 (minimal fallback) when none exists.
-func (fr *FaultSLDFRouter) pickValiant(r *netsim.Router, cg, ws, wd int32) int32 {
+func (fr *FaultSLDFRouter) pickValiant(rng *engine.RNG, cg, ws, wd int32) int32 {
 	n := fr.detourCount[cg]
 	if n == 0 {
 		return -1
@@ -567,10 +568,10 @@ func (fr *FaultSLDFRouter) pickValiant(r *netsim.Router, cg, ws, wd int32) int32
 		if len(cands) == 0 {
 			return -1
 		}
-		return cands[r.RNG.Intn(len(cands))]
+		return cands[rng.Intn(len(cands))]
 	}
 	for {
-		aux := int32(r.RNG.Intn(int(fr.groups)))
+		aux := int32(rng.Intn(int(fr.groups)))
 		if aux != ws && aux != wd && fr.admissible[cg*fr.groups+aux] {
 			return aux
 		}

@@ -101,7 +101,7 @@ func TestValiantLowerAllPairsDeliverable(t *testing.T) {
 func TestPickIntermediateLowerProperty(t *testing.T) {
 	s, sr := smallSLDF(t, ReducedVC, ValiantLower)
 	defer s.Net.Close()
-	r := &netsim.Router{RNG: engine.NewRNG(5)}
+	rng := engine.NewRNG(5)
 	f := func(wsRaw, wdRaw uint8) bool {
 		g := int32(s.Params.Groups())
 		ws := int32(wsRaw) % g
@@ -109,7 +109,7 @@ func TestPickIntermediateLowerProperty(t *testing.T) {
 		if ws == wd {
 			return true
 		}
-		aux := sr.pickIntermediate(r, ws, wd)
+		aux := sr.pickIntermediate(&rng, ws, wd)
 		if aux < 0 {
 			// Fallback only legal when no candidate exists.
 			return wd == 0 || (wd == 1 && ws == 0)

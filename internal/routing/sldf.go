@@ -3,6 +3,7 @@ package routing
 import (
 	"fmt"
 
+	"sldf/internal/engine"
 	"sldf/internal/netsim"
 	"sldf/internal/topology"
 )
@@ -158,9 +159,9 @@ func (sr *SLDFRouter) routeAtCore(net *netsim.Network, r *netsim.Router, p *nets
 		d := net.Router(p.DstNode)
 		if d.WGroup != r.WGroup {
 			if sr.mode == Adaptive {
-				p.Aux = sr.chooseAdaptive(r, r.WGroup, d.WGroup)
+				p.Aux = sr.chooseAdaptive(p.RouteRNG(r), r.WGroup, d.WGroup)
 			} else {
-				p.Aux = sr.pickIntermediate(r, r.WGroup, d.WGroup)
+				p.Aux = sr.pickIntermediate(p.RouteRNG(r), r.WGroup, d.WGroup)
 			}
 			p.Aux2 = 1 // decision made (possibly "no valid intermediate")
 		}
@@ -186,7 +187,7 @@ func (sr *SLDFRouter) routeAtCore(net *netsim.Network, r *netsim.Router, p *nets
 
 // pickIntermediate chooses a uniform intermediate W-group for non-minimal
 // routing, or -1 when none is admissible.
-func (sr *SLDFRouter) pickIntermediate(r *netsim.Router, ws, wd int32) int32 {
+func (sr *SLDFRouter) pickIntermediate(rng *engine.RNG, ws, wd int32) int32 {
 	if sr.mode == ValiantLower {
 		// Candidates: w < wd, w != ws.
 		n := wd
@@ -196,14 +197,14 @@ func (sr *SLDFRouter) pickIntermediate(r *netsim.Router, ws, wd int32) int32 {
 		if n <= 0 {
 			return -1
 		}
-		aux := int32(r.RNG.Intn(int(n)))
+		aux := int32(rng.Intn(int(n)))
 		if ws < wd && aux >= ws {
 			aux++
 		}
 		return aux
 	}
 	for {
-		aux := int32(r.RNG.Intn(sr.groups))
+		aux := int32(rng.Intn(sr.groups))
 		if aux != ws && aux != wd {
 			return aux
 		}

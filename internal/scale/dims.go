@@ -29,7 +29,7 @@ const validationRate = 0.1
 // full balanced systems (radix-16: 1312 chips, radix-24: 6120, radix-32:
 // 18560, and beyond).
 func ChipsDimension(kind core.SystemKind, workers int) Dimension {
-	return ChipsDimensionEngine(kind, workers, netsim.EngineActiveSet)
+	return ChipsDimensionEngine(kind, workers, netsim.EngineActiveSet, 0)
 }
 
 // ChipsDimensionEngine is ChipsDimension with an explicit simulation engine
@@ -37,8 +37,10 @@ func ChipsDimension(kind core.SystemKind, workers int) Dimension {
 // dominated by the build rather than the cycle loop, so the ladder climbs
 // rungs far past the cycle engines' ceiling; a non-default engine is
 // recorded in the dimension name so its trajectory never mixes with
-// cycle-engine baselines.
-func ChipsDimensionEngine(kind core.SystemKind, workers int, eng netsim.EngineKind) Dimension {
+// cycle-engine baselines. flowWorkers parallelizes the flow solve's
+// trace/waterfill phases (result-identical, so the trajectory is still
+// comparable across values); it is ignored by the cycle engines.
+func ChipsDimensionEngine(kind core.SystemKind, workers int, eng netsim.EngineKind, flowWorkers int) Dimension {
 	name := "chips/" + kind.String()
 	if eng != netsim.EngineActiveSet {
 		name += "/" + eng.String()
@@ -53,7 +55,7 @@ func ChipsDimensionEngine(kind core.SystemKind, workers int, eng netsim.EngineKi
 			cfg.Seed = 1
 			cfg.Workers = workers
 			return Step{Label: label, Run: func() (StepInfo, error) {
-				return measureSystemEngine(cfg, eng)
+				return measureSystemEngine(cfg, eng, flowWorkers)
 			}}, true
 		},
 	}
@@ -217,12 +219,12 @@ func baseConfig(kind core.SystemKind) core.Config {
 // measureSystem builds cfg, captures its footprint, runs the validation
 // load point, and checks the run's structural health.
 func measureSystem(cfg core.Config) (StepInfo, error) {
-	return measureSystemEngine(cfg, netsim.EngineActiveSet)
+	return measureSystemEngine(cfg, netsim.EngineActiveSet, 0)
 }
 
 // measureSystemEngine is measureSystem with an explicit simulation engine
-// for the validation load point.
-func measureSystemEngine(cfg core.Config, eng netsim.EngineKind) (StepInfo, error) {
+// (and flow-solver worker count) for the validation load point.
+func measureSystemEngine(cfg core.Config, eng netsim.EngineKind, flowWorkers int) (StepInfo, error) {
 	var info StepInfo
 	t0 := time.Now()
 	sys, err := core.Build(cfg)
@@ -240,6 +242,7 @@ func measureSystemEngine(cfg core.Config, eng netsim.EngineKind) (StepInfo, erro
 	}
 	sp := simParams()
 	sp.Engine = eng
+	sp.FlowWorkers = flowWorkers
 	t1 := time.Now()
 	res, err := sys.MeasureLoad(pat, validationRate, sp)
 	info.SimWall = time.Since(t1)
