@@ -1,0 +1,62 @@
+// Command sldfcheck is the repo's invariant multichecker: the four
+// go/analysis analyzers of internal/check (determinism, hotpath,
+// cachekey, sentinel) behind the standard unitchecker protocol.
+//
+// Run it over package patterns directly —
+//
+//	go build -o bin/sldfcheck ./cmd/sldfcheck
+//	./bin/sldfcheck ./...
+//
+// which re-execs itself as `go vet -vettool=sldfcheck <patterns>` so the
+// go command handles package loading, export data and caching; or hand
+// it to go vet yourself:
+//
+//	go vet -vettool=$(pwd)/bin/sldfcheck ./...
+//
+// Exit status is non-zero when any analyzer reports a diagnostic. See
+// the README section "Static analysis & invariants" for the directive
+// vocabulary (//sldf:hotpath, //sldf:nondeterministic-ok, ...).
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"sldf/internal/check"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") && !strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vetSelf(args))
+	}
+	// unitchecker.Main handles -V=full, -flags and the *.cfg protocol
+	// requests the go command issues, and never returns.
+	unitchecker.Main(check.Analyzers()...)
+}
+
+// vetSelf re-execs the binary through `go vet -vettool`, turning bare
+// package patterns (sldfcheck ./...) into a full multichecker run.
+func vetSelf(patterns []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sldfcheck: cannot locate own binary: %v\n", err)
+		return 2
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "sldfcheck: %v\n", err)
+		return 2
+	}
+	return 0
+}

@@ -52,7 +52,8 @@ func ExecutorKinds() []string {
 	executorsMu.RLock()
 	defer executorsMu.RUnlock()
 	kinds := make([]string, 0, len(executors))
-	for k := range executors {
+	for k := range executors { //sldf:nondeterministic-ok keys are sorted immediately after collection
+
 		kinds = append(kinds, k)
 	}
 	sort.Strings(kinds)

@@ -13,6 +13,12 @@
 //     subpackage shards them across worker daemons).
 //   - Store abstracts where results persist (disk cache, memory LRU, or a
 //     tiered combination).
+//
+// The package is declared deterministic: results feed figures, caches and
+// the bitwise serial==parallel==cached equality contract, so sldfcheck
+// flags map iteration, global RNG and wall-clock reads in non-test code.
+//
+//sldf:deterministic
 package campaign
 
 import (
@@ -92,7 +98,8 @@ func (w *Worker) touch(key string) {
 // Long-lived owners (worker pools) call it when retiring a worker; Run
 // closes its workers itself.
 func (w *Worker) Close() {
-	for _, v := range w.state {
+	for _, v := range w.state { //sldf:nondeterministic-ok release-only teardown; no result depends on close order
+
 		if c, ok := v.(interface{ Close() }); ok {
 			c.Close()
 		}

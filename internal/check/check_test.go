@@ -1,0 +1,167 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"sldf/internal/check"
+	"sldf/internal/check/checktest"
+)
+
+func TestDeterminismFixtures(t *testing.T) {
+	checktest.Run(t, "testdata", check.DeterminismAnalyzer, "determinism")
+}
+
+func TestHotpathFixtures(t *testing.T) {
+	checktest.Run(t, "testdata", check.HotpathAnalyzer, "hotpath")
+}
+
+func TestCacheKeyFixtures(t *testing.T) {
+	checktest.Run(t, "testdata", check.CacheKeyAnalyzer, "cachekey")
+}
+
+func TestSentinelFixtures(t *testing.T) {
+	checktest.Run(t, "testdata", check.SentinelAnalyzer, "sentinel")
+}
+
+func messages(ds []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range ds {
+		b.WriteString(d.Message)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func wantContains(t *testing.T, got string, frags ...string) {
+	t.Helper()
+	for _, f := range frags {
+		if !strings.Contains(got, f) {
+			t.Errorf("diagnostics missing %q; got:\n%s", f, got)
+		}
+	}
+}
+
+// A directive with no reason must not suppress, and must itself be
+// reported — so every suppression in the tree documents why it is safe.
+// The naked-directive diagnostic lands on the directive comment's own
+// line, which the // want protocol cannot annotate, hence these
+// source-string tests.
+func TestNakedNondeterministicOKIsReported(t *testing.T) {
+	got := messages(checktest.Diagnostics(t, check.DeterminismAnalyzer, `
+// Package p is deterministic.
+//
+//sldf:deterministic
+package p
+
+// Keys hides behind a reasonless directive.
+func Keys(m map[string]int) []string {
+	var out []string
+	//sldf:nondeterministic-ok
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`))
+	wantContains(t, got,
+		"naked //sldf:nondeterministic-ok directive",
+		"map iteration order")
+}
+
+func TestNakedAllocOKIsReported(t *testing.T) {
+	got := messages(checktest.Diagnostics(t, check.HotpathAnalyzer, `
+package p
+
+// Hot allocates behind a reasonless directive.
+//
+//sldf:hotpath
+func Hot() []int {
+	//sldf:alloc-ok
+	return make([]int, 4)
+}
+`))
+	wantContains(t, got,
+		"naked //sldf:alloc-ok directive",
+		"make allocates")
+}
+
+func TestNakedKeyIgnoreIsReported(t *testing.T) {
+	got := messages(checktest.Diagnostics(t, check.CacheKeyAnalyzer, `
+package p
+
+import "fmt"
+
+type Spec struct {
+	A int
+	//sldf:keyignore
+	B int
+}
+
+//sldf:cachekey Spec
+func Key(s Spec) string {
+	return fmt.Sprintf("%d", s.A)
+}
+`))
+	wantContains(t, got, "naked //sldf:keyignore directive")
+}
+
+func TestCacheKeyDirectiveNeedsType(t *testing.T) {
+	got := messages(checktest.Diagnostics(t, check.CacheKeyAnalyzer, `
+package p
+
+//sldf:cachekey
+func Key() string {
+	return ""
+}
+`))
+	wantContains(t, got, "needs a type name argument")
+}
+
+// Packages that do not opt in with //sldf:deterministic are exempt from
+// the determinism contract entirely.
+func TestDeterminismIsOptIn(t *testing.T) {
+	got := checktest.Diagnostics(t, check.DeterminismAnalyzer, `
+package p
+
+import "time"
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func Stamp() time.Time {
+	return time.Now()
+}
+`)
+	if len(got) != 0 {
+		t.Errorf("non-opted-in package produced diagnostics:\n%s", messages(got))
+	}
+}
+
+func TestAnalyzersAreRegistered(t *testing.T) {
+	want := map[string]bool{
+		"sldfdeterminism": false,
+		"sldfhotpath":     false,
+		"sldfcachekey":    false,
+		"sldfsentinel":    false,
+	}
+	for _, a := range check.Analyzers() {
+		if _, ok := want[a.Name]; !ok {
+			t.Errorf("unexpected analyzer %s", a.Name)
+			continue
+		}
+		want[a.Name] = true
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("analyzer %s not registered", name)
+		}
+	}
+}

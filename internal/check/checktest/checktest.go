@@ -1,0 +1,200 @@
+// Package checktest runs check's analyzers over GOPATH-style fixture
+// packages and matches their diagnostics against // want annotations —
+// the analysistest protocol, reimplemented on the standard library's
+// source importer so the fixture suite needs nothing beyond GOROOT.
+//
+// A fixture directory testdata/src/<pkg> holds ordinary Go files whose
+// expected diagnostics are written on the offending line:
+//
+//	for k := range m { // want `map iteration order`
+//
+// The quoted text is a regular expression; every diagnostic must match a
+// want on its line and every want must be matched by a diagnostic.
+package checktest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Run analyzes testdata/src/<pkg> under dir with the analyzer and
+// reports every mismatch between diagnostics and // want annotations as
+// a test error.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	pkgDir := filepath.Join(dir, "src", pkg)
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, pkgDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", pkgDir)
+	}
+	diags := analyze(t, fset, files, pkg, a)
+	checkWants(t, fset, files, diags)
+}
+
+// Diagnostics type-checks a single in-memory file and returns the
+// analyzer's raw diagnostics — for assertions the line-anchored want
+// protocol cannot express, such as a diagnostic reported on a directive
+// comment's own line.
+func Diagnostics(t *testing.T, a *analysis.Analyzer, src string) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analyze(t, fset, []*ast.File{f}, f.Name.Name, a)
+}
+
+func analyze(t *testing.T, fset *token.FileSet, files []*ast.File, pkgPath string, a *analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		FileVersions: make(map[*ast.File]string),
+	}
+	conf := types.Config{
+		// The source importer type-checks stdlib imports from GOROOT
+		// source: no export data, no network, no go command.
+		Importer: importer.ForCompiler(fset, "source", nil),
+	}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking %s: %v", pkgPath, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   make(map[*analysis.Analyzer]any),
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	for _, req := range a.Requires {
+		if req == inspect.Analyzer {
+			pass.ResultOf[req] = inspector.New(files)
+			continue
+		}
+		t.Fatalf("unsupported requirement %s", req.Name)
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	return diags
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// want is one expected-diagnostic annotation.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				_, spec, ok := strings.Cut(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(spec, -1) {
+					expr := m[1]
+					if expr == "" {
+						expr = m[2]
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, expr, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+	if t.Failed() {
+		var lines []string
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			lines = append(lines, fmt.Sprintf("  %s:%d: %s", filepath.Base(pos.Filename), pos.Line, d.Message))
+		}
+		t.Logf("all diagnostics:\n%s", strings.Join(lines, "\n"))
+	}
+}

@@ -1,0 +1,227 @@
+package check
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// DeterminismAnalyzer enforces the repo's bitwise-reproducibility
+// contract in packages that opt in with a package-level
+// //sldf:deterministic directive: every serial, parallel, cached and
+// remote execution of the same spec must produce byte-identical results,
+// so nothing on a result path may depend on map iteration order, global
+// RNG state, or the wall clock.
+var DeterminismAnalyzer = &analysis.Analyzer{
+	Name: "sldfdeterminism",
+	Doc: "flag map iteration, global math/rand state and wall-clock reads " +
+		"in packages declared //sldf:deterministic; suppress benign sites " +
+		"with //sldf:nondeterministic-ok <reason>",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runDeterminism,
+}
+
+const nondetOK = "nondeterministic-ok"
+
+func runDeterminism(pass *analysis.Pass) (any, error) {
+	fd := newFileDirectives(pass)
+	if !hasPackageDirective(fd, "deterministic") {
+		return nil, nil
+	}
+	fd.reportNaked(nondetOK)
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	nodeFilter := []ast.Node{
+		(*ast.RangeStmt)(nil),
+		(*ast.Ident)(nil),
+	}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		if inTestFile(pass, n.Pos()) {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			checkMapRange(pass, fd, n)
+		case *ast.Ident:
+			// Qualified references (rand.Intn) are caught here too: the
+			// selector's Sel ident resolves to the same function object.
+			checkNondetRef(pass, fd, n, n)
+		}
+	})
+	return nil, nil
+}
+
+// checkNondetRef flags uses of global math/rand state and wall-clock
+// reads. Seeded generators (rand.New, rand.NewSource, rand.NewZipf, and
+// every *rand.Rand method) are deterministic and stay silent; only the
+// package-level convenience functions share mutable global state.
+func checkNondetRef(pass *analysis.Pass, fd *fileDirectives, id *ast.Ident, site ast.Node) {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	if _, isFunc := obj.(*types.Func); !isFunc {
+		return
+	}
+	// Package-level functions only: methods have a receiver and carry
+	// their own state (e.g. *rand.Rand), which is seedable and fine.
+	if sig, ok := obj.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return
+	}
+	switch obj.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		if strings.HasPrefix(obj.Name(), "New") {
+			return // constructors of caller-owned, seeded state
+		}
+		f := enclosingFile(pass, site.Pos())
+		if f == nil || fd.suppressed(f, site.Pos(), nondetOK) {
+			return
+		}
+		pass.Reportf(site.Pos(), "global %s.%s uses shared RNG state: results depend on call interleaving; use a seeded *rand.Rand (or annotate //sldf:nondeterministic-ok <reason>)",
+			obj.Pkg().Name(), obj.Name())
+	case "time":
+		switch obj.Name() {
+		case "Now", "Since", "Until":
+			f := enclosingFile(pass, site.Pos())
+			if f == nil || fd.suppressed(f, site.Pos(), nondetOK) {
+				return
+			}
+			pass.Reportf(site.Pos(), "wall-clock time.%s in a deterministic package: results must not depend on real time (annotate //sldf:nondeterministic-ok <reason> for profiling/stats paths)",
+				obj.Name())
+		}
+	}
+}
+
+// checkMapRange flags `range` over a map unless the loop body is provably
+// order-insensitive (see orderInsensitiveBody).
+func checkMapRange(pass *analysis.Pass, fd *fileDirectives, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if orderInsensitiveBody(pass, rng) {
+		return
+	}
+	f := enclosingFile(pass, rng.Pos())
+	if f == nil || fd.suppressed(f, rng.Pos(), nondetOK) {
+		return
+	}
+	pass.Reportf(rng.Pos(), "map iteration order is random and this body is not provably order-insensitive: sort the keys first, or annotate //sldf:nondeterministic-ok <reason>")
+}
+
+// orderInsensitiveBody reports whether a map-range body cannot observe
+// iteration order. The whitelist is deliberately narrow — integer
+// accumulation, boolean latching, keyed stores into another map, and
+// deletion — because "looks commutative" is exactly how ordering bugs
+// slip in (float += is not associative; argmax tie-breaks on order).
+func orderInsensitiveBody(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	keyObj := rangeVarObj(pass, rng.Key)
+	for _, stmt := range rng.Body.List {
+		switch s := stmt.(type) {
+		case *ast.IncDecStmt:
+			if !isIntegerExpr(pass, s.X) {
+				return false
+			}
+		case *ast.AssignStmt:
+			if !orderInsensitiveAssign(pass, keyObj, s) {
+				return false
+			}
+		case *ast.ExprStmt:
+			// delete(m, k) with k the range key removes a distinct entry
+			// per iteration — order cannot matter.
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok || !isBuiltin(pass, call.Fun, "delete") || len(call.Args) != 2 {
+				return false
+			}
+			if keyObj == nil || rangeVarObj(pass, call.Args[1]) != keyObj {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// orderInsensitiveAssign accepts integer compound accumulation (+=, |=,
+// &=, ^=), boolean/constant latching (x = true), and stores into another
+// map keyed by the range key (distinct source keys hit distinct slots).
+func orderInsensitiveAssign(pass *analysis.Pass, keyObj types.Object, s *ast.AssignStmt) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	lhs, rhs := s.Lhs[0], s.Rhs[0]
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		return isIntegerExpr(pass, lhs) && !exprReadsMapOrder(rhs)
+	case token.ASSIGN:
+		if idx, ok := lhs.(*ast.IndexExpr); ok {
+			t := pass.TypesInfo.TypeOf(idx.X)
+			if t == nil {
+				return false
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return false
+			}
+			return keyObj != nil && rangeVarObj(pass, idx.Index) == keyObj
+		}
+		if _, isIdent := lhs.(*ast.Ident); isIdent {
+			tv, ok := pass.TypesInfo.Types[rhs]
+			return ok && tv.Value != nil // constant latch: last write is identical
+		}
+	}
+	return false
+}
+
+// exprReadsMapOrder conservatively reports whether an accumulation RHS
+// could smuggle order back in (e.g. x += f() where f reads the
+// accumulator). Plain operands and arithmetic over them are fine; any
+// call is not.
+func exprReadsMapOrder(e ast.Expr) bool {
+	ordered := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, isCall := n.(*ast.CallExpr); isCall {
+			ordered = true
+			return false
+		}
+		return true
+	})
+	return ordered
+}
+
+func rangeVarObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+func isIntegerExpr(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isBuiltin(pass *analysis.Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

@@ -1,0 +1,179 @@
+package check
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// A directive is one parsed //sldf:<kind> [argument] comment line.
+type directive struct {
+	pos  token.Pos // position of the comment
+	line int       // line the comment sits on
+	kind string    // "hotpath", "nondeterministic-ok", ...
+	arg  string    // trailing text: a reason or a type name
+}
+
+const directivePrefix = "//sldf:"
+
+// parseDirectives extracts every //sldf: directive from a file, keyed by
+// the line the comment occupies. A directive suppresses (or annotates) the
+// line it shares with code, or the line immediately below a comment-only
+// line — the two ways Go code conventionally carries a marker.
+func parseDirectives(fset *token.FileSet, f *ast.File) map[int][]directive {
+	out := make(map[int][]directive)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, directivePrefix)
+			kind, arg, _ := strings.Cut(rest, " ")
+			d := directive{
+				pos:  c.Pos(),
+				line: fset.Position(c.Pos()).Line,
+				kind: kind,
+				arg:  strings.TrimSpace(arg),
+			}
+			out[d.line] = append(out[d.line], d)
+		}
+	}
+	return out
+}
+
+// fileDirectives lazily parses and memoizes the directives of every file
+// in a pass, plus which lines carry code — a directive that trails code
+// annotates only its own line, while a standalone comment line annotates
+// the line below it.
+type fileDirectives struct {
+	pass  *analysis.Pass
+	files map[*ast.File]map[int][]directive
+	code  map[*ast.File]map[int]bool
+}
+
+func newFileDirectives(pass *analysis.Pass) *fileDirectives {
+	return &fileDirectives{
+		pass:  pass,
+		files: make(map[*ast.File]map[int][]directive),
+		code:  make(map[*ast.File]map[int]bool),
+	}
+}
+
+func (fd *fileDirectives) of(f *ast.File) map[int][]directive {
+	m, ok := fd.files[f]
+	if !ok {
+		m = parseDirectives(fd.pass.Fset, f)
+		fd.files[f] = m
+		fd.code[f] = codeLines(fd.pass.Fset, f)
+	}
+	return m
+}
+
+// codeLines marks every line holding a non-comment token, by walking node
+// start and end positions. Comment groups attached as Doc/line comments
+// are skipped so a comment-only line stays unmarked.
+func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil:
+			return false
+		case *ast.CommentGroup, *ast.Comment:
+			return false
+		}
+		lines[fset.Position(n.Pos()).Line] = true
+		if end := n.End(); end.IsValid() {
+			lines[fset.Position(end-1).Line] = true
+		}
+		return true
+	})
+	return lines
+}
+
+// at returns the directives of the given kind attached to pos: trailing
+// on the same line, or standing alone on the line above it.
+func (fd *fileDirectives) at(f *ast.File, pos token.Pos, kind string) []directive {
+	m := fd.of(f)
+	line := fd.pass.Fset.Position(pos).Line
+	var out []directive
+	for _, d := range m[line] {
+		if d.kind == kind {
+			out = append(out, d)
+		}
+	}
+	if !fd.code[f][line-1] {
+		for _, d := range m[line-1] {
+			if d.kind == kind {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a diagnostic at pos is suppressed by a
+// reason-bearing directive of the given kind. A directive with no reason
+// does not suppress — the analyzers separately report naked directives, so
+// every suppression in the tree documents why it is safe.
+func (fd *fileDirectives) suppressed(f *ast.File, pos token.Pos, kind string) bool {
+	for _, d := range fd.at(f, pos, kind) {
+		if d.arg != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// reportNaked emits a diagnostic for every directive of the given kind
+// that carries no reason, anywhere in the pass. Called once per analyzer
+// that owns the directive kind.
+func (fd *fileDirectives) reportNaked(kind string) {
+	for _, f := range fd.pass.Files {
+		if inTestFile(fd.pass, f.Pos()) {
+			continue
+		}
+		for _, ds := range fd.of(f) {
+			for _, d := range ds {
+				if d.kind == kind && d.arg == "" {
+					fd.pass.Reportf(d.pos, "naked //sldf:%s directive: state the reason it is safe", kind)
+				}
+			}
+		}
+	}
+}
+
+// enclosingFile returns the *ast.File of the pass containing pos.
+func enclosingFile(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// inTestFile reports whether pos lies in a _test.go file. The determinism
+// and hotpath invariants guard result-producing code; tests iterate maps
+// and allocate freely without affecting any shipped result.
+func inTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// hasPackageDirective reports whether any file of the pass carries a
+// package-level //sldf:<kind> directive (conventionally in the package
+// documentation block). Analyzers that are opt-in per package key off it.
+func hasPackageDirective(fd *fileDirectives, kind string) bool {
+	for _, f := range fd.pass.Files {
+		for _, ds := range fd.of(f) {
+			for _, d := range ds {
+				if d.kind == kind {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,308 @@
+package check
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// HotpathAnalyzer statically flags heap-allocating constructs in
+// functions annotated //sldf:hotpath — the steady-state stepping and
+// solver paths whose zero-allocation contract the AllocsPerRun==0 tests
+// pin at runtime. The runtime pins catch a regression; this analyzer
+// points at the line that introduced it. Deliberate allocations on cold
+// branches inside a hot function (error construction, one-time growth)
+// are annotated //sldf:alloc-ok <reason>.
+var HotpathAnalyzer = &analysis.Analyzer{
+	Name: "sldfhotpath",
+	Doc: "flag allocating constructs (fmt, composite literals, make/new, " +
+		"foreign-slice appends, capturing closures, interface boxing) in " +
+		"//sldf:hotpath functions; suppress cold branches with " +
+		"//sldf:alloc-ok <reason>",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runHotpath,
+}
+
+const allocOK = "alloc-ok"
+
+// hotFunc is one annotated body plus the signature its returns box into.
+type hotFunc struct {
+	file    *ast.File
+	body    *ast.BlockStmt
+	results *types.Tuple
+}
+
+func runHotpath(pass *analysis.Pass) (any, error) {
+	fd := newFileDirectives(pass)
+	fd.reportNaked(allocOK)
+	for _, f := range hotFuncs(pass, fd) {
+		checkHotBody(pass, fd, f)
+	}
+	return nil, nil
+}
+
+// hotFuncs collects the bodies annotated //sldf:hotpath: named function
+// declarations (directive in the doc comment) and function literals
+// (directive on, or on the line above, the `func` keyword — the
+// persistent phase closures built once and stepped every cycle).
+func hotFuncs(pass *analysis.Pass, fd *fileDirectives) []hotFunc {
+	var hot []hotFunc
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		if inTestFile(pass, n.Pos()) {
+			return
+		}
+		f := enclosingFile(pass, n.Pos())
+		if f == nil || len(fd.at(f, n.Pos(), "hotpath")) == 0 {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body == nil {
+				return
+			}
+			var res *types.Tuple
+			if fn, ok := pass.TypesInfo.Defs[n.Name].(*types.Func); ok {
+				res = fn.Type().(*types.Signature).Results()
+			}
+			hot = append(hot, hotFunc{file: f, body: n.Body, results: res})
+		case *ast.FuncLit:
+			var res *types.Tuple
+			if sig, ok := typeOf(pass, n).(*types.Signature); ok {
+				res = sig.Results()
+			}
+			hot = append(hot, hotFunc{file: f, body: n.Body, results: res})
+		}
+	})
+	return hot
+}
+
+func checkHotBody(pass *analysis.Pass, fd *fileDirectives, hf hotFunc) {
+	report := func(pos ast.Node, format string, args ...any) {
+		if fd.suppressed(hf.file, pos.Pos(), allocOK) {
+			return
+		}
+		pass.Reportf(pos.Pos(), "hot path: "+format+" (annotate //sldf:alloc-ok <reason> if this branch is cold)", args...)
+	}
+
+	// Self-append targets: `x = append(x, ...)` is the amortized
+	// steady-state idiom (the runtime pin proves it stops growing).
+	// ast.Inspect is preorder, so the assignment registers its append
+	// call before the call itself is visited.
+	selfAppend := make(map[*ast.CallExpr]bool)
+
+	results := hf.results
+	ast.Inspect(hf.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if capturesVariables(pass, n) {
+				report(n, "capturing closure allocates its environment")
+			}
+			// Keep descending: the literal's body executes on the hot
+			// path too. Its returns box into its own signature, not the
+			// enclosing one, so stop matching ReturnStmts against ours.
+			checkHotBody(pass, fd, hotFunc{file: hf.file, body: n.Body, results: sigResults(pass, n)})
+			return false
+		case *ast.CompositeLit:
+			t := typeOf(pass, n)
+			if t == nil {
+				break
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				report(n, "slice literal allocates")
+			case *types.Map:
+				report(n, "map literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, isLit := n.X.(*ast.CompositeLit); isLit {
+					report(n, "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok && isAppend(pass, call) && len(call.Args) > 0 {
+					if types.ExprString(n.Lhs[0]) == types.ExprString(call.Args[0]) {
+						selfAppend[call] = true
+					}
+				}
+			}
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					if lt := typeOf(pass, n.Lhs[i]); boxes(pass, lt, rhs) {
+						report(rhs, "assignment boxes a concrete value into interface %s", typeName(pass, lt))
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, report, n, selfAppend)
+		case *ast.ReturnStmt:
+			if results != nil && len(n.Results) == results.Len() {
+				for i, res := range n.Results {
+					if rt := results.At(i).Type(); boxes(pass, rt, res) {
+						report(res, "return boxes a concrete value into interface %s", typeName(pass, rt))
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *analysis.Pass, report func(ast.Node, string, ...any), call *ast.CallExpr, selfAppend map[*ast.CallExpr]bool) {
+	switch fun := pass.TypesInfo.Uses[usedIdent(call.Fun)].(type) {
+	case *types.Builtin:
+		switch fun.Name() {
+		case "make":
+			report(call, "make allocates; hoist to setup and reuse")
+		case "new":
+			report(call, "new allocates; hoist to setup and reuse")
+		case "append":
+			if !selfAppend[call] {
+				report(call, "append grows a slice it does not write back to; preallocate or self-append")
+			}
+		}
+		return
+	case *types.Func:
+		if pkg := fun.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+			report(call, "fmt.%s allocates (formatting state and boxed operands)", fun.Name())
+			return
+		}
+	}
+	tv, hasTV := pass.TypesInfo.Types[call.Fun]
+	if hasTV && tv.IsType() && len(call.Args) == 1 {
+		// A conversion T(x): boxes when T is an interface.
+		if boxes(pass, tv.Type, call.Args[0]) {
+			report(call, "conversion boxes a concrete value into interface %s", typeName(pass, tv.Type))
+		}
+		return
+	}
+	sig, ok := typeOf(pass, call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice, no per-element boxing
+			}
+			// The variadic call also allocates its backing slice; each
+			// boxed element diagnostic already marks the site.
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if boxes(pass, pt, arg) {
+			report(arg, "argument boxes a concrete value into interface %s", typeName(pass, pt))
+		}
+	}
+}
+
+// boxes reports whether storing arg into a destination of type dst
+// heap-allocates an interface payload: dst is an interface, arg a
+// concrete non-constant value whose representation does not fit the
+// interface data word. Pointer-shaped values (pointers, channels, maps,
+// funcs, unsafe pointers) fit directly; constants box to static data;
+// small scalars are skipped — the real offenders in this codebase are
+// strings, structs, slices and arrays.
+func boxes(pass *analysis.Pass, dst types.Type, arg ast.Expr) bool {
+	if dst == nil {
+		return false
+	}
+	if _, isIface := dst.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return false
+	}
+	switch at := tv.Type.Underlying().(type) {
+	case *types.Struct, *types.Array, *types.Slice:
+		return true
+	case *types.Basic:
+		if at.Kind() == types.UntypedNil {
+			return false
+		}
+		return at.Info()&types.IsString != 0
+	default:
+		return false
+	}
+}
+
+func typeOf(pass *analysis.Pass, e ast.Expr) types.Type {
+	return pass.TypesInfo.TypeOf(e)
+}
+
+func typeName(pass *analysis.Pass, t types.Type) string {
+	return types.TypeString(t, types.RelativeTo(pass.Pkg))
+}
+
+func sigResults(pass *analysis.Pass, lit *ast.FuncLit) *types.Tuple {
+	if sig, ok := typeOf(pass, lit).(*types.Signature); ok {
+		return sig.Results()
+	}
+	return nil
+}
+
+func isAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	b, ok := pass.TypesInfo.Uses[usedIdent(call.Fun)].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// usedIdent unwraps the identifier a call's Fun resolves through:
+// a bare ident or the Sel of a selector.
+func usedIdent(fun ast.Expr) *ast.Ident {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return f
+	case *ast.SelectorExpr:
+		return f.Sel
+	case *ast.ParenExpr:
+		return usedIdent(f.X)
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		return usedIdent(f.X)
+	case *ast.IndexListExpr:
+		return usedIdent(f.X)
+	}
+	return nil
+}
+
+// capturesVariables reports whether a function literal references any
+// variable declared outside itself but inside the surrounding function —
+// the captures that force an environment allocation. References to
+// package-level objects cost nothing.
+func capturesVariables(pass *analysis.Pass, lit *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captures {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || obj.Pkg() == nil || obj.Parent() == nil {
+			return true
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return true // package-level: no capture
+		}
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			captures = true
+			return false
+		}
+		return true
+	})
+	return captures
+}

@@ -1,0 +1,68 @@
+package check_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles cmd/sldfcheck into a temp dir and returns the repo
+// root and the binary path.
+func buildTool(t *testing.T) (root, tool string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool = filepath.Join(t.TempDir(), "sldfcheck")
+	cmd := exec.Command("go", "build", "-o", tool, "./cmd/sldfcheck")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building sldfcheck: %v\n%s", err, out)
+	}
+	return root, tool
+}
+
+// TestRepoIsCheckClean is the meta-invariant: the shipped tree must
+// pass its own analyzers with zero diagnostics, so an un-clean tree can
+// never merge even if the CI lint step is skipped.
+func TestRepoIsCheckClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds sldfcheck and vets the whole repo")
+	}
+	root, tool := buildTool(t)
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("sldfcheck over ./... reported diagnostics:\n%s", out)
+	}
+}
+
+// TestSeededViolationsAreCaught proves the gate has teeth: a module
+// seeded with one violation per analyzer must fail, with each
+// analyzer's diagnostic present. A silently-passing checker is worse
+// than none.
+func TestSeededViolationsAreCaught(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds sldfcheck and vets the seeded module")
+	}
+	root, tool := buildTool(t)
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	cmd.Dir = filepath.Join(root, "internal", "check", "testdata", "seeded")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("sldfcheck passed over the seeded-violation module:\n%s", out)
+	}
+	for _, frag := range []string{
+		"map iteration order",            // sldfdeterminism
+		"wall-clock time.Now",            // sldfdeterminism
+		"use errors.Is",                  // sldfsentinel
+		"make allocates",                 // sldfhotpath
+		"never reads exported field Dos", // sldfcachekey
+	} {
+		if !strings.Contains(string(out), frag) {
+			t.Errorf("seeded run missing diagnostic %q; output:\n%s", frag, out)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module seededviolation
+
+go 1.24

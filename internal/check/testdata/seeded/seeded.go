@@ -1,0 +1,55 @@
+// Package seededviolation deliberately breaks one invariant per
+// analyzer. The CI self-test (and TestSeededViolationsAreCaught) runs
+// sldfcheck over this module and requires failure — proving the gate
+// can still catch violations, not merely pass clean trees.
+//
+//sldf:deterministic
+package seededviolation
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrSeeded is the sentinel the direct comparison below must trip on.
+var ErrSeeded = errors.New("seeded violation")
+
+// Spec feeds the key below; Dos is deliberately left out of it.
+type Spec struct {
+	Chips int
+	Dos   int
+}
+
+// Tags observes map iteration order (sldfdeterminism).
+func Tags(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Stamp reads the wall clock (sldfdeterminism).
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// IsSeeded compares a sentinel with == (sldfsentinel).
+func IsSeeded(err error) bool {
+	return err == ErrSeeded
+}
+
+// Hot allocates on an annotated hot path (sldfhotpath).
+//
+//sldf:hotpath
+func Hot() []int {
+	return make([]int, 8)
+}
+
+// Key never serializes Dos (sldfcachekey).
+//
+//sldf:cachekey Spec
+func Key(s Spec) string {
+	return fmt.Sprintf("chips=%d", s.Chips)
+}

@@ -1,0 +1,58 @@
+// Package cachekey exercises the sldfcachekey analyzer: every exported
+// field of a //sldf:cachekey spec type must be read by the key
+// function's same-package call closure, be marked //sldf:keyignore, or
+// the whole value must escape to a serializer.
+package cachekey
+
+import "fmt"
+
+// Spec is the spec under test. C is a declared execution knob; D is
+// the forgotten field the analyzer must catch. The keyignore on C must
+// NOT leak onto D's line (trailing-comment attachment regression).
+type Spec struct {
+	A      int
+	B      string
+	C      int //sldf:keyignore execution knob; results identical for any C
+	D      int
+	hidden int
+}
+
+// Key reads A directly and B through a helper, but never D.
+//
+//sldf:cachekey Spec
+func Key(s Spec) string { // want `never reads exported field D`
+	return fmt.Sprintf("a=%d|b=%s", s.A, part(s))
+}
+
+func part(s Spec) string {
+	_ = s.hidden
+	return s.B
+}
+
+// FullKey covers every non-ignored field: silent.
+//
+//sldf:cachekey Spec
+func FullKey(s Spec) string {
+	return fmt.Sprintf("a=%d|b=%s|d=%d", s.A, s.B, s.D)
+}
+
+// Whole has no per-field reads at all.
+type Whole struct {
+	A int
+	B int
+}
+
+// WholeKey hands the entire value to a foreign serializer, which
+// covers every field at once: silent.
+//
+//sldf:cachekey Whole
+func WholeKey(w Whole) string {
+	return fmt.Sprintf("%+v", w)
+}
+
+// Missing names a type that does not exist.
+//
+//sldf:cachekey NoSuchSpec
+func Missing() string { // want `cannot resolve the type`
+	return ""
+}

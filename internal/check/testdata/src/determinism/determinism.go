@@ -1,0 +1,96 @@
+// Package determinism exercises the sldfdeterminism analyzer in a
+// package that opts in to the bitwise-reproducibility contract.
+//
+//sldf:deterministic
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Histogram accumulates integers: order-insensitive, stays silent.
+func Histogram(m map[string]int) (total, n int) {
+	for _, v := range m {
+		total += v
+		n++
+	}
+	return
+}
+
+// Keys observes iteration order through append.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want `map iteration order`
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KeysAnnotated carries a reasoned suppression and stays silent.
+func KeysAnnotated(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { //sldf:nondeterministic-ok keys are sorted immediately below
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Copy stores into another map keyed by the range key: distinct source
+// keys hit distinct slots, silent.
+func Copy(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// Invert indexes the destination by the range VALUE, not the key —
+// collisions resolve in iteration order, so this is flagged.
+func Invert(m map[int]string) map[string]int {
+	inv := make(map[string]int, len(m))
+	for k, v := range m { // want `map iteration order`
+		inv[v] = k
+	}
+	return inv
+}
+
+// Prune deletes the visited key: order-insensitive, silent.
+func Prune(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// Jitter reads the shared global generator.
+func Jitter() float64 {
+	return rand.Float64() // want `global rand\.Float64`
+}
+
+// Seeded owns its generator state: silent.
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Stamp reads the wall clock.
+func Stamp() time.Time {
+	return time.Now() // want `wall-clock time\.Now`
+}
+
+// Elapsed is a reasoned profiling suppression: silent.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) //sldf:nondeterministic-ok wall-clock diagnostics only, never part of results
+}
+
+// FloatSum is float accumulation: += is not associative, so map order
+// changes the bits. Flagged.
+func FloatSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `map iteration order`
+		total += v
+	}
+	return total
+}

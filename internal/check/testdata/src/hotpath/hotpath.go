@@ -1,0 +1,96 @@
+// Package hotpath exercises the sldfhotpath analyzer: allocation
+// hazards inside //sldf:hotpath bodies are flagged, everything outside
+// them is ignored.
+package hotpath
+
+import "fmt"
+
+var sink any
+
+type stepper struct {
+	buf   []int
+	stamp []int32
+}
+
+func record(v any) { sink = v }
+
+// Step is the clean steady-state shape: integer work plus a
+// self-append that reuses capacity. Silent.
+//
+//sldf:hotpath
+func (s *stepper) Step(vals []int) int {
+	total := 0
+	for _, v := range vals {
+		total += v
+	}
+	s.buf = append(s.buf, total)
+	return total
+}
+
+// Bad trips every allocating construct.
+//
+//sldf:hotpath
+func (s *stepper) Bad(vals []int) {
+	_ = []int{1, 2}         // want `slice literal allocates`
+	_ = map[int]int{}       // want `map literal allocates`
+	_ = &stepper{}          // want `&composite literal escapes`
+	_ = make([]byte, 8)     // want `make allocates`
+	_ = new(stepper)        // want `new allocates`
+	s.buf = append(vals, 1) // want `append grows a slice it does not write back to`
+	fmt.Println(len(vals))  // want `fmt\.Println allocates`
+	sink = *s               // want `assignment boxes a concrete value`
+	record(*s)              // want `argument boxes a concrete value`
+	_ = any(*s)             // want `conversion boxes a concrete value`
+}
+
+// Snapshot boxes its struct receiver into the any result.
+//
+//sldf:hotpath
+func (s *stepper) Snapshot() any {
+	return *s // want `return boxes a concrete value`
+}
+
+// Counter returns a closure that captures i: the environment
+// allocation is flagged at the literal.
+//
+//sldf:hotpath
+func Counter() func() int {
+	i := 0
+	return func() int { // want `capturing closure allocates`
+		i++
+		return i
+	}
+}
+
+// Grow suppresses a deliberate cold-branch allocation with a reason.
+//
+//sldf:hotpath
+func (s *stepper) Grow(n int) {
+	if n > cap(s.stamp) {
+		s.stamp = make([]int32, n) //sldf:alloc-ok one-time growth; steady state reuses capacity
+	}
+}
+
+// PointerBox assigns a pointer-shaped value to an interface: fits the
+// data word, no allocation, silent.
+//
+//sldf:hotpath
+func (s *stepper) PointerBox() {
+	sink = s
+}
+
+// Build annotates a function literal: the directive on the line above
+// the literal marks its body hot even though Build itself is cold.
+func Build() func() {
+	_ = []int{1, 2, 3} // silent: Build is not a hot path
+	//sldf:hotpath
+	step := func() {
+		_ = make([]int, 4) // want `make allocates`
+	}
+	return step
+}
+
+// Cold allocates freely without an annotation: silent.
+func Cold() []int {
+	return []int{1, 2, 3}
+}

@@ -4,6 +4,12 @@
 // as sequences of steps; each step is a fixed-volume traffic phase whose
 // makespan is measured on the simulator, so the O(N) vs O(√N) step-count
 // behaviour of Fig. 4 appears as end-to-end cycles.
+//
+// The package is declared deterministic: results feed figures, caches and
+// the bitwise serial==parallel==cached equality contract, so sldfcheck
+// flags map iteration, global RNG and wall-clock reads in non-test code.
+//
+//sldf:deterministic
 package collective
 
 import (

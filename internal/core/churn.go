@@ -78,6 +78,8 @@ func (cs ChurnCollectiveSpec) packet() int32 {
 
 // churnKey is the content address of one churn job; the armed timeline is
 // part of cacheID, and the kill coordinates complete it.
+//
+//sldf:cachekey ChurnCollectiveSpec
 func churnKey(cs ChurnCollectiveSpec) string {
 	cfg := cs.Cfg
 	cfg.Churn.Armed = true

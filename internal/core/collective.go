@@ -68,6 +68,8 @@ func runCollectiveJob(w *campaign.Worker, payload json.RawMessage) (metrics.Poin
 // collectiveKey is the content address of one collective job; like
 // pointKey it covers every result-affecting input, and a non-default
 // engine gets a distinct slot.
+//
+//sldf:cachekey CollectiveSpec
 func collectiveKey(cs CollectiveSpec) string {
 	key := fmt.Sprintf("%s|collective=%s|vol=%d|pkt=%d|maxstep=%d",
 		cs.Cfg.cacheID(), cs.Schedule, cs.Volume, cs.packet(), cs.MaxStepCycles)

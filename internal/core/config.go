@@ -3,6 +3,12 @@
 // standalone C-group mesh), runs open-loop load points with Table IV
 // parameters, and provides the per-figure experiment runners used by the
 // benchmark harness and the sldffigures command.
+//
+// The package is declared deterministic: results feed figures, caches and
+// the bitwise serial==parallel==cached equality contract, so sldfcheck
+// flags map iteration, global RNG and wall-clock reads in non-test code.
+//
+//sldf:deterministic
 package core
 
 import (
@@ -82,9 +88,11 @@ type Config struct {
 	// static-fault build.
 	Churn topology.FaultTimeline
 
-	Seed           uint64
-	Workers        int
-	WatchdogCycles int64
+	Seed uint64
+	// Workers and WatchdogCycles shape execution, never measured results,
+	// so cacheID leaves them out of the content address.
+	Workers        int   //sldf:keyignore execution knob; results identical for any worker count
+	WatchdogCycles int64 //sldf:keyignore execution knob; only bounds deadlock detection
 }
 
 // FaultVCs is the per-link virtual-channel provisioning of faulted builds:
@@ -115,11 +123,11 @@ type SimParams struct {
 	// EngineFlow (<= 0 keeps the solver serial). Like Workers and
 	// WatchdogCycles it is a pure execution knob — statistics are
 	// bit-identical for any value — so it is excluded from point cache keys.
-	FlowWorkers int
+	FlowWorkers int //sldf:keyignore execution knob; solver output is bit-identical for any worker count
 	// FlowCold discards the flow solver's route-trace cache before every
 	// solve, forcing cold-start behavior. Results are identical either way;
 	// the knob exists for benchmarking and equivalence harnesses.
-	FlowCold bool
+	FlowCold bool //sldf:keyignore execution knob; cold and warm caches solve to identical bits
 	// FlowSeedThrottles warm-starts the flow waterfill from the adjacent
 	// point's solution. APPROXIMATE (see netsim.FlowOptions.SeedThrottles):
 	// unlike the other flow knobs it can shift results, so it is reflected

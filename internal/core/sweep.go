@@ -118,6 +118,9 @@ func (c Config) Label() string {
 // they change how a simulation executes, never what it measures. The fault
 // component is appended only when faults are injected, keeping fault-free
 // keys byte-compatible with existing caches.
+//
+//sldf:cachekey Config
+//sldf:cachekey topology.FaultSpec
 func (c Config) cacheID() string {
 	id := fmt.Sprintf("kind=%d df=%+v sldf=%+v term=%d chiplet=%d noc=%d scheme=%d mode=%d width=%d seed=%#x",
 		c.Kind, c.DF, c.SLDF, c.Terminals, c.ChipletDim, c.NoCDim,
@@ -141,6 +144,8 @@ func (c Config) cacheID() string {
 // measure bitwise-identical results: a serial-reference cross-check must
 // actually simulate, not replay the cached active-set point it is
 // supposed to check.
+//
+//sldf:cachekey SimParams
 func pointKey(cfg Config, patternKey string, rate float64, sp SimParams) string {
 	key := fmt.Sprintf("%s|pat=%s|rate=%.17g|sim={Warmup:%d Measure:%d ExtraDrain:%d PacketSize:%d}",
 		cfg.cacheID(), patternKey, rate, sp.Warmup, sp.Measure, sp.ExtraDrain, sp.PacketSize)

@@ -1,6 +1,12 @@
 // Package metrics defines the result containers for injection-rate sweeps
 // and their rendering as CSV or aligned text — the data behind every
 // latency-vs-load figure in the paper.
+//
+// The package is declared deterministic: results feed figures, caches and
+// the bitwise serial==parallel==cached equality contract, so sldfcheck
+// flags map iteration, global RNG and wall-clock reads in non-test code.
+//
+//sldf:deterministic
 package metrics
 
 import (
@@ -235,7 +241,8 @@ func (f Figure) CSV() string {
 		}
 	}
 	rates := make([]float64, 0, len(rateSet))
-	for r := range rateSet {
+	for r := range rateSet { //sldf:nondeterministic-ok rate union is sorted immediately after collection
+
 		rates = append(rates, r)
 	}
 	sort.Float64s(rates)

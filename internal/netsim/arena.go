@@ -47,6 +47,8 @@ type packetArena struct {
 
 // at returns the packet addressed by ref. The returned pointer is stable:
 // chunks never move.
+//
+//sldf:hotpath
 func (a *packetArena) at(ref PacketRef) *Packet {
 	return &a.chunks[ref>>arenaChunkShift][ref&arenaChunkMask]
 }
@@ -87,6 +89,8 @@ func (a *packetArena) grow(free *[]PacketRef) {
 // slots and a build-once/measure-many loop would grow the arena without
 // bound. Existing free-list capacity is reused, so steady-state resets
 // allocate nothing.
+//
+//sldf:hotpath
 func (a *packetArena) reclaim(shards []shardStats) {
 	total := int(a.nchunks) << arenaChunkShift
 	per := total / len(shards)

@@ -343,16 +343,20 @@ func (n *Network) drainShard(s int, now int64) {
 // only advanced between phases, and the pool barrier publishes it to the
 // worker goroutines.
 func (n *Network) initPhases() {
+	//sldf:hotpath
 	n.drainActiveFn = func(s int) {
 		n.mergeActivations(s)
 		n.drainShardActive(s, n.Cycle)
 	}
+	//sldf:hotpath
 	n.drainRefFn = func(s int) {
 		n.drainShard(s, n.Cycle)
 	}
+	//sldf:hotpath
 	n.allocActiveFn = func(s int) {
 		n.allocShardActive(s, n.Cycle)
 	}
+	//sldf:hotpath
 	n.allocRefFn = func(s int) {
 		now := n.Cycle
 		lo, hi := engine.ShardBounds(len(n.Routers), n.shards, s)
@@ -369,6 +373,8 @@ func (n *Network) initPhases() {
 // traffic, an optional serial hook, and an allocate phase moving packets.
 // The active-set engine runs both phases over per-shard worklists; the
 // reference engine walks every link and router.
+//
+//sldf:hotpath
 func (n *Network) Step() {
 	if n.churn != nil {
 		n.applyDueChurn()

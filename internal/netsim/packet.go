@@ -10,6 +10,12 @@
 // The package is topology-agnostic. Topology packages build the router/link
 // graph through a Builder; routing packages provide a RouteFunc; traffic
 // packages provide Generators. The core package wires them together.
+//
+// The package is declared deterministic: results feed figures, caches and
+// the bitwise serial==parallel==cached equality contract, so sldfcheck
+// flags map iteration, global RNG and wall-clock reads in non-test code.
+//
+//sldf:deterministic
 package netsim
 
 import "sldf/internal/engine"

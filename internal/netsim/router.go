@@ -58,13 +58,17 @@ type vcQueue struct {
 	outVC   uint8
 }
 
+//sldf:hotpath
 func (v *vcQueue) empty() bool { return v.n == 0 }
 
 func (v *vcQueue) size() int { return int(v.n) }
 
+//sldf:hotpath
 func (v *vcQueue) front() PacketRef { return v.buf[v.head] }
 
 // at returns the i-th queued ref (0 = head).
+//
+//sldf:hotpath
 func (v *vcQueue) at(i int) PacketRef {
 	j := v.head + int32(i)
 	if int(j) >= len(v.buf) {
@@ -74,6 +78,8 @@ func (v *vcQueue) at(i int) PacketRef {
 }
 
 // push appends a packet of the given flit size to the tail.
+//
+//sldf:hotpath
 func (v *vcQueue) push(ref PacketRef, size int32) {
 	if int(v.n) == len(v.buf) {
 		v.grow()
@@ -104,6 +110,8 @@ func (v *vcQueue) grow() {
 
 // pop removes and returns the head ref; size must be the head packet's
 // flit count (the caller holds the packet already).
+//
+//sldf:hotpath
 func (v *vcQueue) pop(size int32) PacketRef {
 	ref := v.buf[v.head]
 	v.head++
@@ -119,6 +127,8 @@ func (v *vcQueue) pop(size int32) PacketRef {
 // removeAt removes and returns the i-th queued ref, preserving the order
 // of the others. Used by ideal (non-blocking) switches to bypass a blocked
 // head-of-line packet.
+//
+//sldf:hotpath
 func (v *vcQueue) removeAt(i int, size int32) PacketRef {
 	if i == 0 {
 		return v.pop(size)

@@ -211,6 +211,9 @@ func parseChurnEvent(tok string) (netsim.TimedFault, error) {
 
 // ChurnString renders the timeline back into ParseChurn's format (used by
 // cache keys); the empty timeline renders as "".
+//
+//sldf:cachekey FaultTimeline
+//sldf:cachekey netsim.TimedFault
 func (t FaultTimeline) ChurnString() string {
 	if t.Empty() {
 		return ""

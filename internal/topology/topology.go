@@ -8,6 +8,12 @@
 //
 // Builders return a metadata struct describing the constructed hierarchy;
 // the routing package consumes this metadata to produce RouteFuncs.
+//
+// The package is declared deterministic: results feed figures, caches and
+// the bitwise serial==parallel==cached equality contract, so sldfcheck
+// flags map iteration, global RNG and wall-clock reads in non-test code.
+//
+//sldf:deterministic
 package topology
 
 import (

@@ -35,6 +35,8 @@ type Uniform struct {
 }
 
 // Dest implements Pattern.
+//
+//sldf:hotpath
 func (u Uniform) Dest(src int32, rng *engine.RNG) int32 {
 	if u.N < 2 {
 		return -1
@@ -67,6 +69,7 @@ type bitPermutation struct {
 
 func (p bitPermutation) Name() string { return p.name }
 
+//sldf:hotpath
 func (p bitPermutation) Dest(src int32, rng *engine.RNG) int32 {
 	if src >= 1<<p.bits {
 		return Uniform{N: p.n}.Dest(src, rng)
@@ -129,6 +132,8 @@ type Hotspot struct {
 func (h Hotspot) Name() string { return "hotspot" }
 
 // Dest implements Pattern.
+//
+//sldf:hotpath
 func (h Hotspot) Dest(src int32, rng *engine.RNG) int32 {
 	g := src / h.ChipsPerGroup
 	hot := false
@@ -176,6 +181,8 @@ type WorstCase struct {
 func (w WorstCase) Name() string { return "worst-case" }
 
 // Dest implements Pattern.
+//
+//sldf:hotpath
 func (w WorstCase) Dest(src int32, rng *engine.RNG) int32 {
 	if w.Groups < 2 {
 		return -1
@@ -204,6 +211,8 @@ func (r Ring) Name() string {
 }
 
 // Dest implements Pattern.
+//
+//sldf:hotpath
 func (r Ring) Dest(src int32, rng *engine.RNG) int32 {
 	if src < r.Base || src >= r.Base+r.N || r.N < 2 {
 		return -1
@@ -243,6 +252,8 @@ func (r *RingOrder) Name() string {
 }
 
 // Dest implements Pattern.
+//
+//sldf:hotpath
 func (r *RingOrder) Dest(src int32, rng *engine.RNG) int32 {
 	i, ok := r.pos[src]
 	if !ok || len(r.Order) < 2 {
@@ -265,6 +276,8 @@ type Permutation struct {
 func (p Permutation) Name() string { return p.Desc }
 
 // Dest implements Pattern.
+//
+//sldf:hotpath
 func (p Permutation) Dest(src int32, rng *engine.RNG) int32 {
 	if int(src) >= len(p.Map) {
 		return -1
@@ -302,6 +315,8 @@ type filterDead struct {
 // Dest implements Pattern: the wrapped pattern draws as usual (so RNG
 // streams stay aligned with the pristine network), then destinations
 // without a surviving terminal are silenced.
+//
+//sldf:hotpath
 func (f filterDead) Dest(src int32, rng *engine.RNG) int32 {
 	d := f.Pattern.Dest(src, rng)
 	if d >= 0 && (int(d) >= len(f.alive) || !f.alive[d]) {
@@ -357,6 +372,8 @@ func (r *Rate) Init(p Pattern, flitsPerChip float64, packetSize int32, nodesPerC
 // decides bit-identically to rng.Bernoulli(prob) — this is the simulator's
 // single hottest RNG call (every injector, every cycle). The prob<=0 and
 // prob>=1 edges consume no randomness, exactly like Bernoulli.
+//
+//sldf:hotpath
 func (r *Rate) NextDest(now int64, srcChip int32, nodeIdx int, rng *engine.RNG) int32 {
 	if r.prob <= 0 {
 		return -1
@@ -374,6 +391,8 @@ func (r *Rate) InjectionRate() (prob float64, thresh uint64) {
 }
 
 // Dest implements netsim.BernoulliGenerator: the post-flip destination pick.
+//
+//sldf:hotpath
 func (r *Rate) Dest(now int64, srcChip int32, nodeIdx int, rng *engine.RNG) int32 {
 	return r.Pattern.Dest(srcChip, rng)
 }
@@ -439,6 +458,8 @@ func NewVolumePerChip(p Pattern, totalFlits int64, packetSize int32, counts []in
 }
 
 // NextDest implements netsim.Generator.
+//
+//sldf:hotpath
 func (v *Volume) NextDest(now int64, srcChip int32, nodeIdx int, rng *engine.RNG) int32 {
 	if v.remaining[srcChip][nodeIdx] <= 0 {
 		return -1
